@@ -1,0 +1,32 @@
+"""Helpers shared by the experiment benchmarks."""
+
+from __future__ import annotations
+
+from repro.analysis.methods import MethodRun
+from repro.analysis.stats import summarize
+from repro.workloads.base import WorkloadPair
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def kbits(bits: float) -> str:
+    """Render a bit count as kilobits with one decimal."""
+    return f"{bits / 1000:.1f}"
+
+
+def aggregate_bits(runs: list[MethodRun]) -> str:
+    """Mean±ci of the communication of several runs, in kilobits."""
+    summary = summarize([run.bits / 1000 for run in runs])
+    return summary.format()
+
+
+def aggregate_emd(runs: list[MethodRun], workloads: list[WorkloadPair]) -> str:
+    """Mean±ci of the repaired EMD of several runs."""
+    values = [run.emd_to(w) for run, w in zip(runs, workloads)]
+    values = [v for v in values if v == v]  # drop NaNs from failures
+    if not values:
+        return "fail"
+    return summarize(values).format(0)

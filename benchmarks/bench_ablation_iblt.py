@@ -1,0 +1,65 @@
+"""A2 — Ablation: IBLT shape (hash count q and sizing margin) (table).
+
+Claim under test: the q=4 / margin=3 defaults.  Fewer hashes (q=3) have a
+higher peeling threshold but weaker per-key randomness at small tables;
+more hashes (q=5) lower the threshold and cost more hashing.  A smaller
+margin saves bits but loses decode headroom, pushing decodes to coarser
+levels (worse EMD) or outright failure.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import run_once
+from repro.analysis.stats import summarize
+from repro.analysis.tables import Table
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import reconcile
+from repro.emd.matching import emd
+from repro.errors import ReconciliationFailure
+from repro.workloads.synthetic import perturbed_pair
+
+DELTA = 2**16
+N = 400
+TRUE_K = 4
+NOISE = 4
+SEEDS = tuple(range(6))
+
+
+def experiment() -> str:
+    table = Table(
+        ["q", "margin", "kbit (mean)", "decode level (mean)", "EMD (mean)",
+         "failures"],
+        title=f"A2: IBLT shape ablation  (n={N}, true_k={TRUE_K}, "
+              f"noise=±{NOISE}, {len(SEEDS)} seeds)",
+    )
+    for q in (3, 4, 5):
+        for margin in (1.5, 3.0):
+            bits, levels, emds, failures = [], [], [], 0
+            for seed in SEEDS:
+                workload = perturbed_pair(seed, N, DELTA, 2, TRUE_K, NOISE)
+                config = ProtocolConfig(
+                    delta=DELTA, dimension=2, k=2 * TRUE_K, seed=seed,
+                    q=q, diff_margin=margin,
+                )
+                try:
+                    result = reconcile(workload.alice, workload.bob, config)
+                except ReconciliationFailure:
+                    failures += 1
+                    continue
+                bits.append(result.transcript.total_bits / 1000)
+                levels.append(float(result.level))
+                emds.append(
+                    emd(workload.alice, result.repaired, backend="scipy")
+                )
+            table.add_row([
+                q, margin,
+                summarize(bits).format() if bits else "-",
+                summarize(levels).format() if levels else "-",
+                summarize(emds).format(0) if emds else "-",
+                failures,
+            ])
+    return table.render()
+
+
+def test_ablation_iblt(benchmark, emit):
+    emit("a2_ablation_iblt", run_once(benchmark, experiment))

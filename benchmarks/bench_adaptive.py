@@ -1,0 +1,57 @@
+"""T2 — One-round vs two-round adaptive (table).
+
+Claim under test: the one-round protocol pays a ``log Δ`` level tax; the
+adaptive variant replaces it with a fixed estimator cost plus one sized
+window.  Adaptive should lose slightly at small ``k`` / small ``Δ``
+(estimators dominate) and win by multiples at large ``k`` / large ``Δ`` —
+approaching the lower bound's scaling.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import kbits, run_once
+from repro.analysis.tables import Table
+from repro.core.adaptive import reconcile_adaptive
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import reconcile
+from repro.workloads.synthetic import perturbed_pair
+
+CASES = [
+    # (delta_log2, k)
+    (12, 4), (12, 32),
+    (20, 4), (20, 32), (20, 128),
+]
+N = 1500
+NOISE = 4
+SEED = 0
+
+
+def experiment() -> str:
+    table = Table(
+        ["delta", "k", "one-round (kbit)", "adaptive (kbit)",
+         "estimators (kbit)", "window (kbit)", "saving"],
+        title=f"T2: one-round vs adaptive  (n={N}, noise=±{NOISE}, d=2)",
+    )
+    for delta_log2, k in CASES:
+        delta = 2**delta_log2
+        workload = perturbed_pair(SEED, N, delta, 2, true_k=min(k, 16),
+                                  noise=NOISE)
+        config = ProtocolConfig(delta=delta, dimension=2, k=k, seed=SEED)
+        one_round = reconcile(workload.alice, workload.bob, config)
+        adaptive = reconcile_adaptive(workload.alice, workload.bob, config)
+        saving = (
+            one_round.transcript.total_bits / adaptive.transcript.total_bits
+        )
+        table.add_row([
+            f"2^{delta_log2}", k,
+            kbits(one_round.transcript.total_bits),
+            kbits(adaptive.transcript.total_bits),
+            kbits(adaptive.transcript.bob_to_alice_bits),
+            kbits(adaptive.transcript.alice_to_bob_bits),
+            f"{saving:.1f}x",
+        ])
+    return table.render()
+
+
+def test_adaptive(benchmark, emit):
+    emit("t2_adaptive", run_once(benchmark, experiment))

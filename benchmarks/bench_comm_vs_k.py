@@ -1,0 +1,45 @@
+"""E2 — Communication vs budget parameter k (figure).
+
+Claim under test: the robust protocol's message is ``O(k log Δ)`` cells —
+linear in ``k`` at fixed geometry — and the measured bits track the
+analytic formula in :mod:`repro.core.bounds`.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import kbits, run_once
+from repro.analysis.tables import Table
+from repro.core.bounds import lower_bound_bits, one_round_bits_estimate
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import reconcile
+from repro.workloads.synthetic import perturbed_pair
+
+BUDGETS = (1, 2, 4, 8, 16, 32, 64, 128)
+DELTA = 2**20
+N = 2000
+NOISE = 4
+SEED = 0
+
+
+def experiment() -> str:
+    table = Table(
+        ["k", "measured (kbit)", "analytic (kbit)", "lower bound (bit)",
+         "measured/bound"],
+        title=f"E2: communication vs k  (n={N}, delta=2^20, d=2)",
+    )
+    workload = perturbed_pair(SEED, N, DELTA, 2, true_k=1, noise=NOISE)
+    for k in BUDGETS:
+        config = ProtocolConfig(delta=DELTA, dimension=2, k=k, seed=SEED)
+        result = reconcile(workload.alice, workload.bob, config)
+        measured = result.transcript.total_bits
+        analytic = one_round_bits_estimate(config)
+        bound = lower_bound_bits(k, DELTA, 2)
+        table.add_row(
+            [k, kbits(measured), kbits(analytic), bound,
+             f"{measured / bound:.1f}"]
+        )
+    return table.render()
+
+
+def test_comm_vs_k(benchmark, emit):
+    emit("e2_comm_vs_k", run_once(benchmark, experiment))

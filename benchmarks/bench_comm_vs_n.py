@@ -1,0 +1,50 @@
+"""E1 — Communication vs set size n (figure).
+
+Claim under test: with coordinate noise present, the robust protocol's
+communication is flat in ``n`` (it depends only on ``k`` and ``log Δ``),
+while exact reconciliation (IBF) grows linearly — every noisy duplicate is
+a "difference" — and full transfer grows linearly by definition.  The
+crossovers are where the robust protocol starts winning.
+
+Paper mapping: the headline communication figure of the evaluation
+(reconstructed; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import aggregate_bits, run_once
+from repro.analysis.methods import default_methods
+from repro.analysis.tables import Table
+from repro.workloads.synthetic import perturbed_pair
+
+SIZES = (250, 500, 1000, 2000, 4000, 8000)
+SEEDS = (0, 1)
+DELTA = 2**20
+TRUE_K = 8
+NOISE = 4
+METHODS = ("robust", "robust-adaptive", "exact-ibf", "full-transfer")
+
+
+def experiment() -> str:
+    table = Table(
+        ["n"] + [f"{m} (kbit)" for m in METHODS],
+        title=f"E1: communication vs n  (k={TRUE_K}, noise=±{NOISE}, "
+              f"delta=2^20, d=2, {len(SEEDS)} seeds)",
+    )
+    for n in SIZES:
+        row = [n]
+        for method in METHODS:
+            runs = []
+            for seed in SEEDS:
+                workload = perturbed_pair(
+                    seed, n, DELTA, 2, true_k=TRUE_K, noise=NOISE
+                )
+                runs.append(default_methods(workload, k=2 * TRUE_K, seed=seed)[method]())
+            row.append(aggregate_bits(runs))
+        table.add_row(row)
+    return table.render()
+
+
+def test_comm_vs_n(benchmark, emit):
+    text = run_once(benchmark, experiment)
+    emit("e1_comm_vs_n", text)

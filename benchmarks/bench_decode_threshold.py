@@ -1,0 +1,52 @@
+"""E6 — IBLT peeling threshold (figure).
+
+Claim under test: peeling succeeds with high probability while the load
+(keys per cell) is below the q-dependent threshold and collapses sharply
+above it — the property every sketch-sizing rule in the library leans on.
+Expected thresholds: ~0.818 (q=3), ~0.772 (q=4), ~0.701 (q=5).
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks._harness import run_once
+from repro.analysis.tables import Table
+from repro.iblt.decode import decode
+from repro.iblt.table import IBLT, IBLTConfig, PEELING_THRESHOLDS
+
+CELLS = 240
+LOADS = (0.40, 0.55, 0.65, 0.72, 0.78, 0.84, 0.95, 1.10)
+TRIALS = 60
+QS = (3, 4, 5)
+
+
+def experiment() -> str:
+    table = Table(
+        ["load (keys/cell)"] + [f"q={q} success" for q in QS],
+        title=f"E6: peeling success rate vs load  ({CELLS} cells, "
+              f"{TRIALS} trials; thresholds "
+              + ", ".join(f"q={q}:{PEELING_THRESHOLDS[q]}" for q in QS) + ")",
+    )
+    for load in LOADS:
+        row = [f"{load:.2f}"]
+        n_keys = int(load * CELLS)
+        for q in QS:
+            cells = CELLS - CELLS % q
+            successes = 0
+            for trial in range(TRIALS):
+                rng = random.Random(1000 * q + trial)
+                config = IBLTConfig(cells=cells, q=q, seed=trial * 7 + q)
+                sketch = IBLT(config)
+                sketch.insert_all(
+                    rng.getrandbits(60) for _ in range(n_keys)
+                )
+                if decode(sketch).success:
+                    successes += 1
+            row.append(f"{successes / TRIALS:.2f}")
+        table.add_row(row)
+    return table.render()
+
+
+def test_decode_threshold(benchmark, emit):
+    emit("e6_decode_threshold", run_once(benchmark, experiment))

@@ -1,0 +1,61 @@
+"""E5 — Approximation quality vs dimension (figure).
+
+Claim under test: the protocol's approximation factor is ``O(d)`` — the gap
+between the split probability (``||.||_1 / 2^ℓ``) and the cell diameter
+(``d · 2^ℓ``).  The measured ratio ``EMD(S_A, S'_B) / EMD_k`` should grow
+at most linearly with ``d`` and sit far below the analysed constant.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import kbits, run_once
+from repro.analysis.stats import summarize
+from repro.analysis.tables import Table
+from repro.core.bounds import approximation_factor
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import reconcile
+from repro.emd.matching import emd
+from repro.emd.partial import emd_k
+from repro.workloads.synthetic import perturbed_pair
+
+DIMENSIONS = (1, 2, 3, 4, 6, 8)
+DELTA = 2**12
+N = 250
+TRUE_K = 4
+NOISE = 3
+SEEDS = (0, 1, 2)
+
+
+def experiment() -> str:
+    table = Table(
+        ["d", "bits (kbit)", "ratio EMD/EMD_k", "analysed bound"],
+        title=f"E5: approximation ratio vs dimension  (n={N}, "
+              f"true_k={TRUE_K}, noise=±{NOISE}, delta=2^12, {len(SEEDS)} seeds)",
+    )
+    for dimension in DIMENSIONS:
+        ratios, bits = [], []
+        for seed in SEEDS:
+            workload = perturbed_pair(
+                seed, N, DELTA, dimension, TRUE_K, NOISE
+            )
+            config = ProtocolConfig(
+                delta=DELTA, dimension=dimension, k=2 * TRUE_K, seed=seed
+            )
+            result = reconcile(workload.alice, workload.bob, config)
+            after = emd(workload.alice, result.repaired, backend="scipy")
+            floor = emd_k(workload.alice, workload.bob, 2 * TRUE_K,
+                          backend="scipy")
+            bits.append(result.transcript.total_bits)
+            if floor > 0:
+                ratios.append(after / floor)
+        table.add_row([
+            dimension,
+            kbits(sum(bits) / len(bits)),
+            summarize(ratios).format(2) if ratios else "-",
+            f"{approximation_factor(dimension):.0f}",
+        ])
+    return table.render()
+
+
+def test_dimension(benchmark, emit):
+    emit("e5_dimension", run_once(benchmark, experiment))

@@ -1,0 +1,60 @@
+"""E3 — Repaired EMD vs communication budget (figure).
+
+Claim under test: the accuracy/communication trade-off.  As ``k`` grows the
+protocol decodes finer levels; the repaired ``EMD(S_A, S'_B)`` falls
+towards the ``EMD_k`` floor, staying within the ``O(d)`` factor of it.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import kbits, run_once
+from repro.analysis.stats import summarize
+from repro.analysis.tables import Table
+from repro.core.bounds import approximation_factor
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import reconcile
+from repro.emd.matching import emd
+from repro.emd.partial import emd_k
+from repro.workloads.synthetic import perturbed_pair
+
+BUDGETS = (2, 4, 8, 16, 32)
+DELTA = 2**16
+N = 400
+TRUE_K = 8
+NOISE = 4
+SEEDS = (0, 1, 2)
+
+
+def experiment() -> str:
+    table = Table(
+        ["k", "bits (kbit)", "EMD after", "EMD_k floor", "ratio",
+         "bound factor"],
+        title=f"E3: repaired EMD vs budget  (n={N}, true_k={TRUE_K}, "
+              f"noise=±{NOISE}, d=2, {len(SEEDS)} seeds)",
+    )
+    for k in BUDGETS:
+        bits_runs, after_runs, floor_runs, ratio_runs = [], [], [], []
+        for seed in SEEDS:
+            workload = perturbed_pair(seed, N, DELTA, 2, TRUE_K, NOISE)
+            config = ProtocolConfig(delta=DELTA, dimension=2, k=k, seed=seed)
+            result = reconcile(workload.alice, workload.bob, config)
+            after = emd(workload.alice, result.repaired, backend="scipy")
+            floor = emd_k(workload.alice, workload.bob, k, backend="scipy")
+            bits_runs.append(result.transcript.total_bits)
+            after_runs.append(after)
+            floor_runs.append(floor)
+            if floor > 0:
+                ratio_runs.append(after / floor)
+        table.add_row([
+            k,
+            kbits(sum(bits_runs) / len(bits_runs)),
+            summarize(after_runs).format(0),
+            summarize(floor_runs).format(0),
+            summarize(ratio_runs).format(2) if ratio_runs else "-",
+            f"{approximation_factor(2):.0f}",
+        ])
+    return table.render()
+
+
+def test_emd_vs_budget(benchmark, emit):
+    emit("e3_emd_vs_budget", run_once(benchmark, experiment))

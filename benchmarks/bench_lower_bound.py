@@ -1,0 +1,52 @@
+"""T3 — Measured communication vs the Ω(k log |U|) lower bound (table).
+
+Claim under test: the paper's lower bound says any protocol achieving the
+``EMD_k`` guarantee must spend ``Ω(k log |U|)`` bits.  The one-round
+protocol is a ``log Δ`` factor above it (it ships every level); the
+adaptive variant closes most of that gap.  The ratio column is the
+constant-factor overhead a deployment actually pays.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import kbits, run_once
+from repro.analysis.tables import Table
+from repro.core.adaptive import reconcile_adaptive
+from repro.core.bounds import lower_bound_bits
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import reconcile
+from repro.workloads.synthetic import perturbed_pair
+
+BUDGETS = (2, 8, 32, 128)
+DELTA = 2**20
+N = 1000
+NOISE = 4
+SEED = 0
+
+
+def experiment() -> str:
+    table = Table(
+        ["k", "lower bound (kbit)", "one-round (kbit)", "ratio",
+         "adaptive (kbit)", "ratio "],
+        title=f"T3: distance to the lower bound  (n={N}, delta=2^20, d=2)",
+    )
+    for k in BUDGETS:
+        workload = perturbed_pair(SEED, N, DELTA, 2, true_k=min(k, 16),
+                                  noise=NOISE)
+        config = ProtocolConfig(delta=DELTA, dimension=2, k=k, seed=SEED)
+        one_round = reconcile(workload.alice, workload.bob, config)
+        adaptive = reconcile_adaptive(workload.alice, workload.bob, config)
+        bound = lower_bound_bits(k, DELTA, 2)
+        table.add_row([
+            k,
+            kbits(bound),
+            kbits(one_round.transcript.total_bits),
+            f"{one_round.transcript.total_bits / bound:.1f}x",
+            kbits(adaptive.transcript.total_bits),
+            f"{adaptive.transcript.total_bits / bound:.1f}x",
+        ])
+    return table.render()
+
+
+def test_lower_bound(benchmark, emit):
+    emit("t3_lower_bound", run_once(benchmark, experiment))

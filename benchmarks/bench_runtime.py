@@ -1,0 +1,78 @@
+"""E7 — Encode/decode running time vs n (figure).
+
+Claim under test: Alice's encoding is ``O(n log Δ)`` hash work (linear in
+n at fixed geometry) and Bob's decode is dominated by his own key pass
+(the peeling itself is ``O(k)``).  pytest-benchmark times the n=4000
+kernel; the table reports a manual sweep.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.tables import Table
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import HierarchicalReconciler
+from repro.workloads.synthetic import perturbed_pair
+
+SIZES = (1000, 2000, 4000, 8000, 16000, 32000)
+DELTA = 2**20
+TRUE_K = 8
+NOISE = 4
+SEED = 0
+
+
+def build(n: int):
+    workload = perturbed_pair(SEED, n, DELTA, 2, TRUE_K, NOISE)
+    config = ProtocolConfig(delta=DELTA, dimension=2, k=2 * TRUE_K, seed=SEED)
+    return workload, HierarchicalReconciler(config)
+
+
+def experiment() -> str:
+    table = Table(
+        ["n", "encode (s)", "decode (s)", "encode us/point"],
+        title=f"E7: runtime vs n  (delta=2^20, d=2, k={2 * TRUE_K})",
+    )
+    for n in SIZES:
+        workload, reconciler = build(n)
+        start = time.perf_counter()
+        payload = reconciler.encode(workload.alice)
+        encode_s = time.perf_counter() - start
+        start = time.perf_counter()
+        reconciler.decode_and_repair(payload, workload.bob)
+        decode_s = time.perf_counter() - start
+        table.add_row([
+            n, f"{encode_s:.2f}", f"{decode_s:.2f}",
+            f"{1e6 * encode_s / n:.0f}",
+        ])
+    return table.render()
+
+
+def test_runtime_table(benchmark, emit):
+    """Manual sweep table; the timed kernel below gives the stable number."""
+    result_holder = {}
+
+    def run():
+        result_holder["text"] = experiment()
+
+    benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    emit("e7_runtime", result_holder["text"])
+
+
+def test_encode_kernel(benchmark):
+    """pytest-benchmark timing of one representative encode (n=4000)."""
+    workload, reconciler = build(4000)
+    benchmark.pedantic(
+        lambda: reconciler.encode(workload.alice),
+        rounds=3, iterations=1, warmup_rounds=0,
+    )
+
+
+def test_decode_kernel(benchmark):
+    """pytest-benchmark timing of one representative decode (n=4000)."""
+    workload, reconciler = build(4000)
+    payload = reconciler.encode(workload.alice)
+    benchmark.pedantic(
+        lambda: reconciler.decode_and_repair(payload, workload.bob),
+        rounds=3, iterations=1, warmup_rounds=0,
+    )

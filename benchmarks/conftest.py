@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark suite.
+
+Every experiment prints its table and also writes it under
+``benchmarks/results/`` so the reproduced evaluation survives pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """The directory benchmark tables are written into."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def emit(results_dir, capsys):
+    """Return a callable that persists and prints one experiment's output."""
+
+    def _emit(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n[saved to {path}]")
+
+    return _emit

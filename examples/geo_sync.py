@@ -1,0 +1,61 @@
+"""Geospatial POI sync with the two-round adaptive protocol.
+
+Run with::
+
+    python examples/geo_sync.py
+
+Two map services hold the same ~1000 points of interest with GPS-scale
+jitter between their copies, plus a handful of POIs only one side knows.
+The universe is large (2^20 per axis), which makes the one-round protocol's
+"ship every level" strategy pay a 21-level tax.  The adaptive variant
+estimates the decode level first and ships a 3-level window — same quality,
+a fraction of the bits.
+"""
+
+from repro import ProtocolConfig, emd, reconcile, reconcile_adaptive
+from repro.workloads import geo_pair
+
+DELTA = 2**20
+
+
+def main() -> None:
+    pois = geo_pair(
+        seed=33,
+        n=4000,
+        delta=DELTA,
+        true_k=8,
+        noise=5.0,
+        cities=15,
+    )
+    print(pois.describe())
+    print()
+
+    config = ProtocolConfig(delta=DELTA, dimension=2, k=16, seed=33)
+    one_round = reconcile(pois.alice, pois.bob, config)
+    adaptive = reconcile_adaptive(pois.alice, pois.bob, config)
+
+    def quality(repaired):
+        if len(repaired) <= 600:
+            return emd(pois.alice, repaired, backend="scipy")
+        from repro.emd.estimate import GridEmdEstimator
+
+        return GridEmdEstimator(DELTA, 2, seed=1).estimate(pois.alice, repaired)
+
+    print(f"{'protocol':<12} {'rounds':>6} {'bits':>10} {'level':>6} {'EMD~':>12}")
+    print("-" * 50)
+    for name, result in (("one-round", one_round), ("adaptive", adaptive)):
+        print(
+            f"{name:<12} {result.transcript.rounds:>6} "
+            f"{result.transcript.total_bits:>10} {result.level:>6} "
+            f"{quality(result.repaired):>12.0f}"
+        )
+    saving = one_round.transcript.total_bits / adaptive.transcript.total_bits
+    print()
+    print(f"adaptive saves {saving:.1f}x by probing before sending")
+    print(f"adaptive round sizes: B->A {adaptive.transcript.bob_to_alice_bits} "
+          f"bits (estimators), A->B {adaptive.transcript.alice_to_bob_bits} "
+          f"bits (window)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Floating-point measurement databases: the 1-D budget sweep.
+
+Run with::
+
+    python examples/noisy_measurements.py
+
+Two replicas of a measurement table hold the same 2000 readings, but one
+side re-computed them with a different floating-point pipeline (simulated
+as small rounding perturbations after fixed-point quantisation onto a
+2^24 grid).  A few dozen readings were also inserted on one side only.
+
+We sweep the budget parameter k and watch the accuracy/communication
+trade-off: the repaired EMD tracks the EMD_k floor, and communication grows
+linearly in k — the paper's core quantitative story, in one dimension where
+exact EMD is cheap to verify at full scale.
+"""
+
+import random
+
+from repro import ProtocolConfig, emd_1d, reconcile
+
+DELTA = 2**24
+N = 2000
+TRUE_K = 24
+
+
+def quantise(value: float) -> int:
+    """Map a reading in [0, 1) onto the fixed-point grid."""
+    return max(0, min(DELTA - 1, int(value * DELTA)))
+
+
+def make_replicas(seed: int = 5):
+    rng = random.Random(seed)
+    readings = [rng.random() for _ in range(N - TRUE_K)]
+    alice = [(quantise(r),) for r in readings]
+    # Bob's pipeline: the same values with last-places rounding drift.
+    bob = [(quantise(r + rng.gauss(0, 1e-6)),) for r in readings]
+    alice += [(quantise(rng.random()),) for _ in range(TRUE_K)]
+    bob += [(quantise(rng.random()),) for _ in range(TRUE_K)]
+    return alice, bob
+
+
+def main() -> None:
+    alice, bob = make_replicas()
+    before = emd_1d(alice, bob)
+    print(f"replicas: n={N}, drift EMD={before:.0f} grid units, "
+          f"{TRUE_K} genuine inserts per side")
+    print()
+    print(f"{'k':>4} {'bits':>10} {'level':>6} {'EMD after':>12} {'vs before':>10}")
+    print("-" * 48)
+    for k in (4, 8, 16, 24, 48):
+        config = ProtocolConfig(delta=DELTA, dimension=1, k=k, seed=5)
+        result = reconcile(alice, bob, config)
+        after = emd_1d(alice, result.repaired)
+        print(
+            f"{k:>4} {result.transcript.total_bits:>10} {result.level:>6} "
+            f"{after:>12.0f} {after / before:>9.2%}"
+        )
+    print()
+    print("larger budgets decode finer levels: more bits, less residual EMD")
+
+
+if __name__ == "__main__":
+    main()

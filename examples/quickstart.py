@@ -1,0 +1,76 @@
+"""Quickstart: reconcile two noisy point sets in ten lines.
+
+Run with::
+
+    python examples/quickstart.py
+
+Alice and Bob hold 500 two-dimensional points each.  490 of them describe
+the same underlying records but differ by ±3 of coordinate noise; 10 per
+side are genuinely different.  The robust protocol ships one O(k log Δ)
+message and repairs Bob's set to within a small multiple of the best
+possible (EMD_k) — while classical exact reconciliation would have paid for
+all ~500 noisy "differences".
+"""
+
+import random
+
+from repro import ProtocolConfig, SimulatedChannel, emd, emd_k, reconcile
+
+DELTA = 2**16
+DIMENSION = 2
+N = 500
+TRUE_K = 10
+NOISE = 3
+
+
+def make_sets(seed: int = 7):
+    """A shared base with noise on Bob's copies plus TRUE_K unique each."""
+    rng = random.Random(seed)
+
+    def point():
+        return tuple(rng.randrange(DELTA) for _ in range(DIMENSION))
+
+    def jitter(p):
+        return tuple(
+            max(0, min(DELTA - 1, c + rng.randint(-NOISE, NOISE))) for c in p
+        )
+
+    base = [point() for _ in range(N - TRUE_K)]
+    alice = base + [point() for _ in range(TRUE_K)]
+    bob = [jitter(p) for p in base] + [point() for _ in range(TRUE_K)]
+    return alice, bob
+
+
+def main() -> None:
+    alice, bob = make_sets()
+    config = ProtocolConfig(delta=DELTA, dimension=DIMENSION, k=TRUE_K, seed=7)
+
+    channel = SimulatedChannel()
+    result = reconcile(alice, bob, config, channel=channel)
+
+    before = emd(alice, bob, backend="scipy")
+    after = emd(alice, result.repaired, backend="scipy")
+    floor = emd_k(alice, bob, TRUE_K, backend="scipy")
+    naive_bits = len(alice) * DIMENSION * 16  # full transfer
+
+    print("robust set reconciliation — quickstart")
+    print("--------------------------------------")
+    print(f"points per side          : {len(alice)}")
+    print(f"genuine differences      : {TRUE_K} per side (noise ±{NOISE})")
+    print(f"message                  : {result.transcript.describe()}")
+    print(f"  vs full transfer       : {naive_bits} bits")
+    print(f"decoded at grid level    : {result.level} "
+          f"(cell side {2 ** result.level})")
+    print(f"repair                   : +{result.alice_surplus} centres, "
+          f"-{result.bob_surplus} points")
+    print(f"EMD(alice, bob) before   : {before:.0f}")
+    print(f"EMD(alice, repaired)     : {after:.0f}")
+    print(f"EMD_k floor (k={TRUE_K})      : {floor:.0f}")
+    if floor > 0:
+        print(f"approximation ratio      : {after / floor:.2f}x "
+              f"(guarantee: O(d) = O({DIMENSION}))")
+    assert len(result.repaired) == len(alice)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Sensor fusion: the paper's motivating scenario, end to end.
+
+Run with::
+
+    python examples/sensor_fusion.py
+
+Two sensors observe the same 5000 objects with independent measurement
+noise; each additionally holds 4 detections the other lacks (missed objects
+and clutter).  We reconcile sensor B towards sensor A three ways and
+compare what each method ships:
+
+* the robust protocol — pays only for the 12 genuinely different detections;
+* exact IBF reconciliation — pays for every noisy re-measurement (~2n keys);
+* full transfer — the ceiling.
+
+This is Table-1-style evidence for the paper's thesis: when "equal" means
+"equal up to sensor noise", exact reconciliation loses its entire advantage
+and robust reconciliation restores it.
+"""
+
+from repro import ProtocolConfig, reconcile
+from repro.baselines import ExactIBF, FullTransfer
+from repro.workloads import sensor_pair
+
+DELTA = 2**20
+DIMENSION = 2
+
+
+def main() -> None:
+    scene = sensor_pair(
+        seed=21,
+        n_objects=5000,
+        delta=DELTA,
+        dimension=DIMENSION,
+        sensor_noise=4.0,
+        missed=3,
+        ghosts=1,
+    )
+    print(scene.describe())
+    print()
+
+    k = 2 * scene.true_k  # budget with a little slack
+    config = ProtocolConfig(delta=DELTA, dimension=DIMENSION, k=k, seed=21)
+    robust = reconcile(scene.alice, scene.bob, config)
+    from repro.emd.estimate import GridEmdEstimator
+
+    robust_emd = GridEmdEstimator(DELTA, DIMENSION, seed=1).estimate(
+        scene.alice, robust.repaired
+    )
+
+    exact = ExactIBF(DELTA, DIMENSION, seed=21).run(scene.alice, scene.bob)
+    full = FullTransfer(DELTA, DIMENSION).run(scene.alice, scene.bob)
+
+    print(f"{'method':<14} {'bits':>10} {'EMD to sensor A':>16}")
+    print("-" * 42)
+    print(f"{'robust':<14} {robust.transcript.total_bits:>10} {robust_emd:>15.0f}~")
+    print(f"{'exact-ibf':<14} {exact.total_bits:>10} {0.0:>16.0f}")
+    print(f"{'full':<14} {full.total_bits:>10} {0.0:>16.0f}")
+    print()
+    print(f"exact IBF shipped a table for {exact.info['difference']} "
+          f"'differences' — almost every one a noisy duplicate.")
+    print(f"robust decoded at level {robust.level} and edited only "
+          f"{robust.alice_surplus + robust.bob_surplus} detections.")
+    ratio = exact.total_bits / robust.transcript.total_bits
+    print(f"robust vs exact-ibf communication: {ratio:.1f}x smaller")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Normal environments should use ``pip install -e .``.  This file exists so
+that fully offline environments (no ``wheel`` package available, so PEP 660
+editable builds cannot run) can still install with
+``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""repro — Robust Set Reconciliation (SIGMOD 2014), reproduced in Python.
+
+Two parties hold point multisets in ``[Δ]^d`` that are *almost* equal —
+most points are noisy duplicates, a few are genuinely different.  This
+library implements the paper's randomly-offset-quadtree + IBLT protocol,
+which repairs Bob's set to within ``O(d) · EMD_k`` of Alice's using
+``Õ(k)`` communication, together with every substrate it stands on and
+the exact-reconciliation baselines it is evaluated against.
+
+Quickstart
+----------
+>>> from repro import ProtocolConfig, reconcile
+>>> config = ProtocolConfig(delta=1024, dimension=2, k=4, seed=42)
+>>> alice = [(100, 100), (500, 501), (900, 4)]
+>>> bob = [(100, 101), (500, 500), (700, 700)]
+>>> result = reconcile(alice, bob, config)
+>>> len(result.repaired) == len(bob)
+True
+
+See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
+reproduced evaluation.
+"""
+
+from repro.core.adaptive import AdaptiveConfig, AdaptiveReconciler, reconcile_adaptive
+from repro.core.broadcast import BroadcastReport, broadcast_reconcile
+from repro.core.config import ProtocolConfig
+from repro.core.grid import ShiftedGridHierarchy
+from repro.core.incremental import IncrementalSketch
+from repro.core.protocol import HierarchicalReconciler, ReconcileResult, reconcile
+from repro.emd import emd, emd_1d, emd_k
+from repro.errors import (
+    CapacityExceeded,
+    ChannelError,
+    ConfigError,
+    DecodeFailure,
+    ReconciliationFailure,
+    ReproError,
+    SerializationError,
+)
+from repro.net.channel import Direction, SimulatedChannel
+from repro.net.transcript import Transcript
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveReconciler",
+    "BroadcastReport",
+    "CapacityExceeded",
+    "IncrementalSketch",
+    "broadcast_reconcile",
+    "ChannelError",
+    "ConfigError",
+    "DecodeFailure",
+    "Direction",
+    "HierarchicalReconciler",
+    "ProtocolConfig",
+    "ReconcileResult",
+    "ReconciliationFailure",
+    "ReproError",
+    "SerializationError",
+    "ShiftedGridHierarchy",
+    "SimulatedChannel",
+    "Transcript",
+    "emd",
+    "emd_1d",
+    "emd_k",
+    "reconcile",
+    "reconcile_adaptive",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Benchmark-harness support: statistics, tables, and the method registry."""
+
+from repro.analysis.methods import MethodRun, default_methods, run_method
+from repro.analysis.stats import Summary, mean_ci, summarize
+from repro.analysis.tables import Table
+
+__all__ = [
+    "MethodRun",
+    "Summary",
+    "Table",
+    "default_methods",
+    "mean_ci",
+    "run_method",
+    "summarize",
+]

@@ -1,0 +1,162 @@
+"""Uniform method registry: every benchmark compares the same contenders.
+
+Wraps the robust protocols and the exact baselines behind one
+``run(workload) -> MethodRun`` call so benchmark loops stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.baselines.cpi import CPIReconciler
+from repro.baselines.exact_ibf import ExactIBF
+from repro.baselines.fixed_grid import FixedGridQuantize
+from repro.baselines.full_transfer import FullTransfer
+from repro.core.adaptive import reconcile_adaptive
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import reconcile
+from repro.emd.matching import emd
+from repro.emd.onedim import emd_1d
+from repro.errors import ReconciliationFailure, ReproError
+from repro.workloads.base import WorkloadPair
+
+#: Exact-EMD size cutoff; larger sets fall back to the grid estimator.
+EXACT_EMD_LIMIT = 600
+
+
+@dataclass
+class MethodRun:
+    """One method's outcome on one workload."""
+
+    method: str
+    bits: int
+    rounds: int
+    repaired: list | None
+    failed: bool = False
+    failure: str = ""
+
+    def emd_to(self, workload: WorkloadPair) -> float:
+        """EMD between Alice's set and the repaired set (exact or estimated)."""
+        if self.repaired is None:
+            return float("nan")
+        return measure_emd(workload, self.repaired)
+
+
+def measure_emd(workload: WorkloadPair, repaired: list) -> float:
+    """Pick the right EMD oracle for the set size."""
+    if len(repaired) != len(workload.alice):
+        return float("nan")
+    if workload.dimension == 1:
+        return emd_1d(workload.alice, repaired)
+    if len(repaired) <= EXACT_EMD_LIMIT:
+        return emd(workload.alice, repaired, workload.params.get("metric", "l1"))
+    from repro.emd.estimate import GridEmdEstimator
+
+    estimator = GridEmdEstimator(workload.delta, workload.dimension, seed=17)
+    return estimator.estimate(workload.alice, repaired)
+
+
+def run_method(runner: Callable[[], MethodRun], method: str) -> MethodRun:
+    """Execute one method thunk, converting failures into a marked result."""
+    try:
+        return runner()
+    except (ReconciliationFailure, ReproError) as exc:
+        return MethodRun(
+            method=method, bits=0, rounds=0, repaired=None,
+            failed=True, failure=str(exc),
+        )
+
+
+def default_methods(
+    workload: WorkloadPair,
+    k: int,
+    seed: int = 0,
+    include_cpi: bool = True,
+    fixed_grid_level: int | None = None,
+) -> dict[str, Callable[[], MethodRun]]:
+    """The standard contender set for a workload.
+
+    Returns label → thunk; callers invoke the thunks they want.  CPI is
+    skippable (cubic decode makes it slow once differences are large) and
+    is automatically excluded when the packed universe exceeds its field.
+    """
+    delta, dimension = workload.delta, workload.dimension
+    config = ProtocolConfig(delta=delta, dimension=dimension, k=k, seed=seed)
+
+    def robust() -> MethodRun:
+        result = reconcile(workload.alice, workload.bob, config)
+        return MethodRun(
+            method="robust",
+            bits=result.transcript.total_bits,
+            rounds=result.transcript.rounds,
+            repaired=result.repaired,
+        )
+
+    def adaptive() -> MethodRun:
+        result = reconcile_adaptive(workload.alice, workload.bob, config)
+        return MethodRun(
+            method="robust-adaptive",
+            bits=result.transcript.total_bits,
+            rounds=result.transcript.rounds,
+            repaired=result.repaired,
+        )
+
+    def full() -> MethodRun:
+        result = FullTransfer(delta, dimension).run(workload.alice, workload.bob)
+        return MethodRun(
+            method="full-transfer",
+            bits=result.total_bits,
+            rounds=result.transcript.rounds,
+            repaired=result.repaired,
+        )
+
+    def exact_ibf() -> MethodRun:
+        result = ExactIBF(delta, dimension, seed=seed).run(
+            workload.alice, workload.bob
+        )
+        return MethodRun(
+            method="exact-ibf",
+            bits=result.total_bits,
+            rounds=result.transcript.rounds,
+            repaired=result.repaired,
+        )
+
+    def cpi() -> MethodRun:
+        result = CPIReconciler(delta, dimension, seed=seed).run(
+            workload.alice, workload.bob
+        )
+        return MethodRun(
+            method="cpi",
+            bits=result.total_bits,
+            rounds=result.transcript.rounds,
+            repaired=result.repaired,
+        )
+
+    def fixed_grid() -> MethodRun:
+        grid_level = (
+            fixed_grid_level
+            if fixed_grid_level is not None
+            else max(1, (delta - 1).bit_length() // 2)
+        )
+        result = FixedGridQuantize(delta, dimension, grid_level, seed=seed).run(
+            workload.alice, workload.bob
+        )
+        return MethodRun(
+            method="fixed-grid",
+            bits=result.total_bits,
+            rounds=result.transcript.rounds,
+            repaired=result.repaired,
+        )
+
+    methods: dict[str, Callable[[], MethodRun]] = {
+        "robust": lambda: run_method(robust, "robust"),
+        "robust-adaptive": lambda: run_method(adaptive, "robust-adaptive"),
+        "exact-ibf": lambda: run_method(exact_ibf, "exact-ibf"),
+        "fixed-grid": lambda: run_method(fixed_grid, "fixed-grid"),
+        "full-transfer": lambda: run_method(full, "full-transfer"),
+    }
+    key_bits = dimension * max(1, (delta - 1).bit_length())
+    if include_cpi and key_bits <= 60:
+        methods["cpi"] = lambda: run_method(cpi, "cpi")
+    return methods

@@ -1,0 +1,59 @@
+"""Tiny statistics helpers for the benchmark harness.
+
+Everything benchmarks aggregate goes through :func:`summarize`, so every
+reported number carries its trial count and a normal-approximation 95%
+confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, spread and confidence half-width of one measured series."""
+
+    mean: float
+    std: float
+    ci95: float
+    n: int
+    minimum: float
+    maximum: float
+
+    def format(self, precision: int = 1) -> str:
+        """``mean ± ci`` rendering used in benchmark tables."""
+        return f"{self.mean:.{precision}f}±{self.ci95:.{precision}f}"
+
+
+def mean_ci(values: Sequence[float]) -> tuple[float, float]:
+    """Mean and 95% CI half-width of a sample (normal approximation)."""
+    summary = summarize(values)
+    return summary.mean, summary.ci95
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Full summary of a measured series."""
+    if not values:
+        raise ConfigError("cannot summarize an empty series")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return Summary(mean, 0.0, 0.0, 1, mean, mean)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    std = math.sqrt(variance)
+    ci95 = 1.96 * std / math.sqrt(n)
+    return Summary(mean, std, ci95, n, min(values), max(values))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (used for approximation-ratio aggregation)."""
+    if not values:
+        raise ConfigError("cannot aggregate an empty series")
+    if any(v <= 0 for v in values):
+        raise ConfigError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,69 @@
+"""Plain-text tables for benchmark output.
+
+Benchmarks print the same rows the paper's tables/figures report; this
+renderer keeps them aligned and diff-friendly (results are also written to
+``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class Table:
+    """A fixed-column ASCII table.
+
+    >>> table = Table(["method", "bits"])
+    >>> table.add_row(["robust", 1234])
+    >>> print(table.render())  # doctest: +NORMALIZE_WHITESPACE
+    method | bits
+    ------ | ----
+    robust | 1234
+    """
+
+    def __init__(self, columns: list[str], title: str = ""):
+        if not columns:
+            raise ConfigError("table needs at least one column")
+        self.title = title
+        self.columns = [str(c) for c in columns]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values) -> None:
+        """Append one row; values are stringified, floats get 1 decimal."""
+        rendered = []
+        for value in values:
+            if isinstance(value, float):
+                rendered.append(f"{value:.1f}")
+            else:
+                rendered.append(str(value))
+        if len(rendered) != len(self.columns):
+            raise ConfigError(
+                f"row has {len(rendered)} values, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(rendered)
+
+    def render(self) -> str:
+        """Render title, header, separator and rows."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for index, value in enumerate(row):
+                widths[index] = max(widths[index], len(value))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(self.title))
+        header = " | ".join(
+            column.ljust(width) for column, width in zip(self.columns, widths)
+        )
+        lines.append(header.rstrip())
+        lines.append(" | ".join("-" * width for width in widths).rstrip())
+        for row in self.rows:
+            line = " | ".join(
+                value.ljust(width) for value, width in zip(row, widths)
+            )
+            lines.append(line.rstrip())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

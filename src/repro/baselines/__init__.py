@@ -1,0 +1,35 @@
+"""Exact-reconciliation baselines the paper's protocol is evaluated against.
+
+All four baselines implement the same ``run(alice, bob, channel)`` call
+returning a :class:`~repro.baselines.base.BaselineResult`:
+
+* :class:`~repro.baselines.full_transfer.FullTransfer` — ship everything;
+  the communication ceiling (``n·d·log Δ`` bits) and quality floor (exact).
+* :class:`~repro.baselines.exact_ibf.ExactIBF` — the Difference Digest
+  (strata estimator + IBLT).  Exact, communication ``∝ |S_A △ S_B|`` —
+  which under noise is ``Θ(n)``, the non-robustness the paper targets.
+* :class:`~repro.baselines.cpi.CPIReconciler` — Minsky–Trachtenberg–Zippel
+  characteristic-polynomial reconciliation.  Near-optimal bits per
+  difference, cubic decode time in the difference — the classical exact
+  protocol predating IBLTs.
+* :class:`~repro.baselines.fixed_grid.FixedGridQuantize` — quantise to one
+  deterministic grid, then exact-reconcile cell keys.  The strawman
+  "just round the values" fix: no hierarchy (the width must be guessed)
+  and no random shift (boundary noise defeats it).
+"""
+
+from repro.baselines.base import BaselineResult, pack_point, unpack_point
+from repro.baselines.cpi import CPIReconciler
+from repro.baselines.exact_ibf import ExactIBF
+from repro.baselines.fixed_grid import FixedGridQuantize
+from repro.baselines.full_transfer import FullTransfer
+
+__all__ = [
+    "BaselineResult",
+    "CPIReconciler",
+    "ExactIBF",
+    "FixedGridQuantize",
+    "FullTransfer",
+    "pack_point",
+    "unpack_point",
+]

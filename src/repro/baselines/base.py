@@ -1,0 +1,100 @@
+"""Shared plumbing for the exact-reconciliation baselines.
+
+Every baseline speaks the same contract as the robust protocol's
+:func:`~repro.core.protocol.reconcile`: given Alice's and Bob's point
+multisets and a simulated channel, produce Bob's final set and a measured
+transcript.  Exact baselines encode points as packed integers
+(:func:`pack_point`) — they treat a noisy duplicate as a brand-new element,
+which is precisely the behaviour the robust protocol improves on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.emd.metrics import Point
+from repro.errors import ConfigError
+from repro.net.transcript import Transcript
+
+
+def coordinate_bits(delta: int) -> int:
+    """Bits per coordinate for the universe ``[delta]^d``."""
+    if delta < 2:
+        raise ConfigError(f"delta must be >= 2, got {delta}")
+    return max(1, (delta - 1).bit_length())
+
+
+def pack_point(point: Point, delta: int, dimension: int) -> int:
+    """Pack a grid point into a single integer key (row-major, MSB first)."""
+    if len(point) != dimension:
+        raise ConfigError(
+            f"point has dimension {len(point)}, expected {dimension}"
+        )
+    bits = coordinate_bits(delta)
+    key = 0
+    for coordinate in point:
+        if not 0 <= coordinate < delta:
+            raise ConfigError(
+                f"coordinate {coordinate} outside [0, {delta})"
+            )
+        key = (key << bits) | coordinate
+    return key
+
+
+def unpack_point(key: int, delta: int, dimension: int) -> Point:
+    """Inverse of :func:`pack_point`."""
+    bits = coordinate_bits(delta)
+    if key < 0 or key.bit_length() > bits * dimension:
+        raise ConfigError(f"key {key} does not fit {dimension} coordinates")
+    mask = (1 << bits) - 1
+    reversed_coords = []
+    for _ in range(dimension):
+        coordinate = key & mask
+        if coordinate >= delta:
+            raise ConfigError(f"decoded coordinate {coordinate} >= {delta}")
+        reversed_coords.append(coordinate)
+        key >>= bits
+    return tuple(reversed(reversed_coords))
+
+
+def point_bits(delta: int, dimension: int) -> int:
+    """Wire width of one packed point."""
+    return coordinate_bits(delta) * dimension
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one baseline run.
+
+    Attributes
+    ----------
+    repaired:
+        Bob's final point multiset.
+    transcript:
+        Measured communication.
+    method:
+        Short method tag used by benchmark tables.
+    info:
+        Method-specific diagnostics (difference estimates, retry counts...).
+    """
+
+    repaired: list[Point]
+    transcript: Transcript
+    method: str
+    info: dict
+
+    @property
+    def total_bits(self) -> int:
+        """Total measured communication in bits."""
+        return self.transcript.total_bits
+
+
+class Reconciler(Protocol):
+    """The call signature every baseline (and the robust adapters) satisfy."""
+
+    def run(
+        self, alice_points: Sequence[Point], bob_points: Sequence[Point]
+    ) -> BaselineResult:
+        """Reconcile and return Bob's final set plus the transcript."""
+        ...

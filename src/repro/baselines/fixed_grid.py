@@ -1,0 +1,186 @@
+"""The strawman robustness fix: quantise once, reconcile exactly.
+
+"Just round the coordinates" is the first idea anyone has for noisy data.
+This baseline makes it concrete so the benchmarks can show why the paper's
+hierarchy + random shift are both necessary:
+
+* **One fixed cell width** must be guessed in advance.  Too small and noisy
+  duplicates still split (communication explodes); too large and genuinely
+  different points merge (quality collapses).  The robust protocol's
+  hierarchy finds the right scale per instance.
+* **No random shift**: points near a deterministic cell boundary flip cells
+  under arbitrarily small noise.  A random offset makes the split
+  probability proportional to the noise, which is what the analysis needs —
+  and what the adversarial ablation workload demonstrates.
+
+Mechanically this is the robust protocol restricted to a single unshifted
+level, with the same occurrence-indexed multiset keys, followed by the same
+repair.  Comparisons are therefore apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.grid import ShiftedGridHierarchy
+from repro.core.repair import apply_repair, plan_repair
+from repro.baselines.base import BaselineResult
+from repro.emd.metrics import Point
+from repro.errors import ConfigError, ReconciliationFailure
+from repro.iblt.decode import decode
+from repro.iblt.hashing import hash_with_salt
+from repro.iblt.strata import StrataConfig, StrataEstimator
+from repro.iblt.table import IBLT, IBLTConfig, recommended_cells
+from repro.net.bits import BitReader, BitWriter
+from repro.net.channel import Direction, SimulatedChannel
+from repro.net.transcript import Transcript
+
+
+class FixedGridQuantize:
+    """Single-level deterministic-grid reconciliation.
+
+    Parameters
+    ----------
+    delta, dimension:
+        Universe geometry.
+    level:
+        The one quantisation level (cell side ``2^level``), fixed a priori.
+    random_shift:
+        Optionally re-enable the random offset (isolates the
+        hierarchy-vs-shift contributions in ablations); default off, as the
+        strawman would do.
+    """
+
+    method = "fixed-grid"
+
+    def __init__(
+        self,
+        delta: int,
+        dimension: int,
+        level: int,
+        seed: int = 0,
+        random_shift: bool = False,
+        headroom: float = 2.0,
+        max_retries: int = 2,
+        q: int = 4,
+    ):
+        if headroom < 1:
+            raise ConfigError(f"headroom must be >= 1, got {headroom}")
+        shift = None if random_shift else (0,) * dimension
+        self.grid = ShiftedGridHierarchy(delta, dimension, seed, shift=shift)
+        if not 0 <= level <= self.grid.max_level:
+            raise ConfigError(
+                f"level {level} outside [0, {self.grid.max_level}]"
+            )
+        self.level = level
+        self.seed = seed
+        self.headroom = headroom
+        self.max_retries = max_retries
+        self.q = q
+
+    # ------------------------------------------------------------ components
+
+    def strata_config(self) -> StrataConfig:
+        """Difference estimator over this level's packed cell keys."""
+        return StrataConfig(
+            strata=16,
+            cells_per_stratum=24,
+            q=self.q,
+            key_bits=self.grid.key_bits(self.level),
+            checksum_bits=24,
+            seed=hash_with_salt(0xF1D, self.seed),
+        )
+
+    def iblt_config(self, cells: int) -> IBLTConfig:
+        """Main difference table config for a given size."""
+        return IBLTConfig(
+            cells=cells,
+            q=self.q,
+            key_bits=self.grid.key_bits(self.level),
+            checksum_bits=32,
+            seed=hash_with_salt(0xF1E, self.seed),
+        )
+
+    # -------------------------------------------------------------- protocol
+
+    def run(
+        self,
+        alice_points: Sequence[Point],
+        bob_points: Sequence[Point],
+        channel: SimulatedChannel | None = None,
+    ) -> BaselineResult:
+        """Estimate, ship one sized table, decode, repair."""
+        channel = channel if channel is not None else SimulatedChannel()
+        alice_keys = list(self.grid.keys_for(alice_points, self.level))
+        bob_keys = list(self.grid.keys_for(bob_points, self.level))
+
+        bob_estimator = StrataEstimator(self.strata_config())
+        bob_estimator.insert_all(bob_keys)
+        request = channel.send(
+            Direction.BOB_TO_ALICE, bob_estimator.to_bytes(), "strata-estimate"
+        )
+        alice_estimator = StrataEstimator(self.strata_config())
+        alice_estimator.insert_all(alice_keys)
+        received = StrataEstimator.from_bytes(request, self.strata_config())
+        estimate = alice_estimator.estimate_difference(received)
+
+        cells = recommended_cells(max(8, int(estimate * self.headroom)), q=self.q)
+        retries = 0
+        while True:
+            writer = BitWriter()
+            writer.write_varint(len(alice_points))
+            writer.write_varint(cells)
+            alice_table = IBLT(self.iblt_config(cells))
+            alice_table.insert_all(alice_keys)
+            alice_table.write_to(writer)
+            response = channel.send(
+                Direction.ALICE_TO_BOB, writer.getvalue(), f"grid-ibf[{cells}]"
+            )
+            outcome = self._bob_decode(response, bob_keys, len(bob_points))
+            if outcome is not None:
+                alice_surplus, bob_surplus = outcome
+                break
+            if retries >= self.max_retries:
+                channel.close()
+                raise ReconciliationFailure(
+                    f"fixed-grid reconciliation failed after {retries} "
+                    f"retries (estimate {estimate}, last size {cells})"
+                )
+            retries += 1
+            cells *= 2
+            channel.send(Direction.BOB_TO_ALICE, b"\x00", "nack")
+
+        plan = plan_repair(
+            list(bob_points), alice_surplus, bob_surplus, self.grid, self.level
+        )
+        repaired = apply_repair(list(bob_points), plan)
+        channel.close()
+        return BaselineResult(
+            repaired=repaired,
+            transcript=Transcript.from_channel(channel),
+            method=self.method,
+            info={
+                "estimate": estimate,
+                "difference": len(alice_surplus) + len(bob_surplus),
+                "retries": retries,
+                "cells": cells,
+                "level": self.level,
+            },
+        )
+
+    def _bob_decode(
+        self, payload: bytes, bob_keys: list[int], n_bob: int
+    ) -> tuple[list[int], list[int]] | None:
+        reader = BitReader(payload)
+        n_alice = reader.read_varint()
+        cells = reader.read_varint()
+        alice_table = IBLT.read_from(reader, self.iblt_config(cells))
+        reader.expect_end()
+        bob_table = IBLT(self.iblt_config(cells))
+        bob_table.insert_all(bob_keys)
+        result = decode(alice_table.subtract(bob_table))
+        if not result.success:
+            return None
+        if len(result.alice_keys) - len(result.bob_keys) != n_alice - n_bob:
+            return None
+        return result.alice_keys, result.bob_keys

@@ -1,0 +1,74 @@
+"""The trivial baseline: Alice ships her entire set.
+
+Costs ``n · d · ceil(log2 Δ)`` bits plus a varint header, always succeeds,
+and is exact.  Every other method is judged against this ceiling.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.base import (
+    BaselineResult,
+    pack_point,
+    point_bits,
+    unpack_point,
+)
+from repro.emd.metrics import Point
+from repro.errors import ConfigError
+from repro.net.bits import BitReader, BitWriter
+from repro.net.channel import Direction, SimulatedChannel
+from repro.net.transcript import Transcript
+
+
+class FullTransfer:
+    """Ship-everything reconciliation for the universe ``[delta]^d``."""
+
+    method = "full-transfer"
+
+    def __init__(self, delta: int, dimension: int):
+        if delta < 2 or dimension < 1:
+            raise ConfigError("delta must be >= 2 and dimension >= 1")
+        self.delta = delta
+        self.dimension = dimension
+
+    def encode(self, points: Sequence[Point]) -> bytes:
+        """Alice's message: a varint count then fixed-width packed points."""
+        writer = BitWriter()
+        writer.write_varint(len(points))
+        width = point_bits(self.delta, self.dimension)
+        for point in points:
+            writer.write_uint(pack_point(point, self.delta, self.dimension), width)
+        return writer.getvalue()
+
+    def decode(self, payload: bytes) -> list[Point]:
+        """Bob's side: the decoded set *is* the answer."""
+        reader = BitReader(payload)
+        count = reader.read_varint()
+        width = point_bits(self.delta, self.dimension)
+        points = [
+            unpack_point(reader.read_uint(width), self.delta, self.dimension)
+            for _ in range(count)
+        ]
+        reader.expect_end()
+        return points
+
+    def run(
+        self,
+        alice_points: Sequence[Point],
+        bob_points: Sequence[Point],
+        channel: SimulatedChannel | None = None,
+    ) -> BaselineResult:
+        """One message, Bob adopts Alice's set verbatim."""
+        channel = channel if channel is not None else SimulatedChannel()
+        payload = channel.send(
+            Direction.ALICE_TO_BOB, self.encode(alice_points), "full-transfer"
+        )
+        repaired = self.decode(payload)
+        channel.close()
+        return BaselineResult(
+            repaired=repaired,
+            transcript=Transcript.from_channel(channel),
+            method=self.method,
+            info={"points_shipped": len(alice_points)},
+        )

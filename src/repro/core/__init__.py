@@ -1,0 +1,37 @@
+"""The paper's contribution: robust set reconciliation under EMD.
+
+Public surface:
+
+* :class:`~repro.core.config.ProtocolConfig` — shared (public-coin)
+  parameters of a reconciliation.
+* :class:`~repro.core.protocol.HierarchicalReconciler` — the one-round
+  randomly-offset-quadtree + IBLT protocol (the paper's algorithm).
+* :class:`~repro.core.adaptive.AdaptiveReconciler` — a two-round
+  estimate-then-send variant that sheds the ``log Δ`` level factor.
+* :func:`~repro.core.protocol.reconcile` — run a full exchange over a
+  simulated channel and return the repaired set plus a transcript.
+* :mod:`~repro.core.bounds` — the paper's analytic communication/accuracy
+  formulas, including the ``Ω(k log |U|)`` lower bound.
+"""
+
+from repro.core.adaptive import AdaptiveReconciler
+from repro.core.broadcast import BroadcastReport, broadcast_reconcile
+from repro.core.config import ProtocolConfig
+from repro.core.grid import ShiftedGridHierarchy
+from repro.core.incremental import IncrementalSketch
+from repro.core.protocol import HierarchicalReconciler, ReconcileResult, reconcile
+from repro.core.repair import RepairPlan, apply_repair
+
+__all__ = [
+    "AdaptiveReconciler",
+    "BroadcastReport",
+    "HierarchicalReconciler",
+    "IncrementalSketch",
+    "ProtocolConfig",
+    "ReconcileResult",
+    "RepairPlan",
+    "ShiftedGridHierarchy",
+    "apply_repair",
+    "broadcast_reconcile",
+    "reconcile",
+]

@@ -1,0 +1,112 @@
+"""The paper's analytic formulas: communication, lower bound, accuracy.
+
+These are the quantities the benchmark harness plots measured numbers
+against:
+
+* the one-round protocol ships ``O(k · log Δ)`` IBLT cells, i.e.
+  ``O(k · log Δ · (d · log Δ + log n))`` bits;
+* achieving ``EMD_k`` exactly needs ``Ω(k · log |U|)`` bits
+  (``|U| = Δ^d``) — the paper's lower bound;
+* the repaired set satisfies
+  ``EMD(S_A, S'_B) ≤ EMD_k + (difference at ℓ*) · d · 2^{ℓ*}
+  = O(d) · EMD_k`` in expectation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.config import ProtocolConfig
+from repro.errors import ConfigError
+
+
+def universe_bits(delta: int, dimension: int) -> int:
+    """``log2 |U|`` for the grid universe ``[delta]^d``, rounded up."""
+    if delta < 2 or dimension < 1:
+        raise ConfigError("delta must be >= 2 and dimension >= 1")
+    return dimension * max(1, math.ceil(math.log2(delta)))
+
+
+def lower_bound_bits(k: int, delta: int, dimension: int) -> int:
+    """The paper's ``Ω(k log |U|)`` communication lower bound (in bits).
+
+    Any protocol guaranteeing ``EMD(S_A, S'_B) = EMD_k(S_A, S_B)`` must, in
+    the worst case, identify k arbitrary points of the universe — the
+    stated bound with constant 1.
+    """
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    return k * universe_bits(delta, dimension)
+
+
+def one_round_bits_estimate(config: ProtocolConfig, count_bits: float = 6.0) -> int:
+    """Analytic size of the one-round hierarchy sketch, in bits.
+
+    Sums, over the sketched levels, ``cells × (count + key + checksum)``
+    with the level-dependent key width; ``count_bits`` approximates the
+    varint-coded per-cell count field (counts concentrate near
+    ``n · q / cells`` but are resident in a varint, ~1 byte at benchmark
+    loads).  Compared against measured payloads in the tests within a
+    modest tolerance.
+    """
+    from repro.core.grid import ShiftedGridHierarchy
+
+    grid = ShiftedGridHierarchy(
+        config.delta, config.dimension, config.seed, config.occupancy_bits
+    )
+    total = 16 + 2 * 8  # header magic/version + two short varints
+    for level in config.sketch_levels:
+        per_cell = count_bits + grid.key_bits(level) + config.checksum_bits
+        total += 8 + config.cells_per_level * per_cell  # level id + cells
+    return int(total)
+
+
+def expected_split_pairs(emd_value: float, level: int) -> float:
+    """Expected close pairs split across cells at ``level`` (ℓ1 bound).
+
+    ``Pr[split] ≤ distance / 2^level`` per pair, summed over the optimal
+    matching: at most ``EMD_k / 2^level`` in total.
+    """
+    if emd_value < 0:
+        raise ConfigError(f"emd_value must be non-negative, got {emd_value}")
+    if level < 0:
+        raise ConfigError(f"level must be non-negative, got {level}")
+    return emd_value / float(1 << level)
+
+
+def target_level(emd_k_value: float, k: int) -> int:
+    """The level the analysis predicts Bob decodes at: ``2^ℓ* ≈ EMD_k / k``."""
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    if emd_k_value <= 0:
+        return 0
+    return max(0, math.ceil(math.log2(max(1.0, emd_k_value / k))))
+
+
+def predicted_emd_bound(
+    emd_k_value: float, k: int, dimension: int, diff_margin: float = 3.0
+) -> float:
+    """The analytic upper bound on ``EMD(S_A, S'_B)``.
+
+    At the decode level ``ℓ*`` with ``2^{ℓ*} ≈ EMD_k / k`` the repair
+    touches at most ``2 k · diff_margin`` points, each off by at most a
+    cell diameter ``d · 2^{ℓ*}``; the untouched points contribute at most
+    ``EMD_k`` (they stayed matched inside cells):
+
+    ``EMD ≤ EMD_k + 2 · k · diff_margin · d · 2^{ℓ*}
+         ≈ (1 + 4 · diff_margin · d) · EMD_k``.
+    """
+    if dimension < 1:
+        raise ConfigError(f"dimension must be >= 1, got {dimension}")
+    if emd_k_value <= 0:
+        return 0.0
+    level = target_level(emd_k_value, k)
+    cell_diameter = dimension * float(1 << level)
+    return emd_k_value + 2 * k * diff_margin * cell_diameter
+
+
+def approximation_factor(dimension: int, diff_margin: float = 3.0) -> float:
+    """The headline ``O(d)`` factor with its analysed constant."""
+    if dimension < 1:
+        raise ConfigError(f"dimension must be >= 1, got {dimension}")
+    return 1 + 4 * diff_margin * dimension

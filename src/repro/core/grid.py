@@ -1,0 +1,241 @@
+"""The randomly offset quadtree: a hierarchy of randomly shifted grids.
+
+Level ``ℓ`` partitions ``[delta]^d`` into axis-aligned cubes of side
+``2^ℓ``, offset by a random shift ``o`` drawn once from the public coins.
+The two facts the protocol's analysis rests on (ℓ1 metric):
+
+* **split probability** — points at distance ``t`` land in different
+  level-ℓ cells with probability at most ``t / 2^ℓ`` (each coordinate
+  crosses a boundary with probability ``|Δ_i| / 2^ℓ``; union bound);
+* **cell diameter** — any two points in one level-ℓ cell are within
+  ``d · 2^ℓ`` of each other, and within ``d · 2^ℓ / 2`` of the cell centre
+  (+1 rounding slack per coordinate).
+
+Keys: a point's identity inside a level's IBLT is its *cell id* plus an
+*occurrence index* (this party's rank among its own points in that cell).
+Both are packed bit-exactly into one integer, so a decoded key is
+self-describing — the receiver recovers the cell (hence the centre point)
+without any value field.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from repro.emd.metrics import Point
+from repro.errors import CapacityExceeded, ConfigError
+
+Cell = tuple[int, ...]
+
+
+class ShiftedGridHierarchy:
+    """All grid levels for one ``(delta, dimension, seed)`` triple.
+
+    Both parties construct this identically from the shared seed; the random
+    shift is the protocol's only geometric randomness.
+    """
+
+    def __init__(self, delta: int, dimension: int, seed: int = 0,
+                 occupancy_bits: int = 20, shift: tuple[int, ...] | None = None):
+        if delta < 2:
+            raise ConfigError(f"delta must be >= 2, got {delta}")
+        if dimension < 1:
+            raise ConfigError(f"dimension must be >= 1, got {dimension}")
+        if not 1 <= occupancy_bits <= 40:
+            raise ConfigError(
+                f"occupancy_bits must be in [1, 40], got {occupancy_bits}"
+            )
+        self.delta = delta
+        self.dimension = dimension
+        self.seed = seed
+        self.occupancy_bits = occupancy_bits
+        self.max_level = max(1, (delta - 1).bit_length())
+        if shift is None:
+            rng = random.Random(seed ^ 0x5311F7ED)
+            shift = tuple(
+                rng.randrange(0, 1 << self.max_level) for _ in range(dimension)
+            )
+        if len(shift) != dimension:
+            raise ConfigError(
+                f"shift has dimension {len(shift)}, grid expects {dimension}"
+            )
+        for offset in shift:
+            if not 0 <= offset < (1 << self.max_level):
+                raise ConfigError(
+                    f"shift component {offset} outside [0, 2^{self.max_level})"
+                )
+        # shift=(0,...,0) degrades to a deterministic (unshifted) grid —
+        # exactly the ablation the random-offset analysis warns about.
+        self.shift = tuple(shift)
+
+    # ------------------------------------------------------------- geometry
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level <= self.max_level:
+            raise ConfigError(
+                f"level {level} outside [0, {self.max_level}]"
+            )
+
+    def _check_point(self, point: Point) -> None:
+        if len(point) != self.dimension:
+            raise ConfigError(
+                f"point has dimension {len(point)}, grid expects {self.dimension}"
+            )
+        for coordinate in point:
+            if not 0 <= coordinate < self.delta:
+                raise ConfigError(
+                    f"coordinate {coordinate} outside [0, {self.delta})"
+                )
+
+    def cell(self, point: Point, level: int) -> Cell:
+        """Cell id of ``point`` at ``level`` (shifted, floored)."""
+        self._check_level(level)
+        self._check_point(point)
+        return tuple(
+            (coordinate + offset) >> level
+            for coordinate, offset in zip(point, self.shift)
+        )
+
+    def center(self, cell: Cell, level: int) -> Point:
+        """Centre of a cell, clamped back onto the grid.
+
+        At level 0 cells are single points and the centre is exact, so a
+        difference recovered at level 0 reproduces Alice's point verbatim.
+        """
+        self._check_level(level)
+        if len(cell) != self.dimension:
+            raise ConfigError(
+                f"cell has dimension {len(cell)}, grid expects {self.dimension}"
+            )
+        half = (1 << level) >> 1
+        coordinates = []
+        for index, offset in zip(cell, self.shift):
+            raw = (index << level) + half - offset
+            coordinates.append(max(0, min(self.delta - 1, raw)))
+        return tuple(coordinates)
+
+    def coord_bits(self, level: int) -> int:
+        """Bits needed for one cell coordinate at ``level``.
+
+        Shifted coordinates live in ``[0, delta - 1 + 2^max_level]``, so a
+        level-ℓ cell index needs ``max_level + 1 - ℓ`` bits.
+        """
+        self._check_level(level)
+        return self.max_level + 1 - level
+
+    # ------------------------------------------------------------ key packing
+
+    def key_bits(self, level: int) -> int:
+        """Width of a packed ``(cell, occurrence)`` key at ``level``."""
+        return self.dimension * self.coord_bits(level) + self.occupancy_bits
+
+    def pack_key(self, cell: Cell, occurrence: int, level: int) -> int:
+        """Pack a cell id and occurrence index into one integer key."""
+        self._check_level(level)
+        if occurrence < 0 or occurrence.bit_length() > self.occupancy_bits:
+            raise CapacityExceeded(
+                f"occurrence {occurrence} exceeds {self.occupancy_bits}-bit "
+                "field; raise occupancy_bits or shrink cell populations"
+            )
+        bits = self.coord_bits(level)
+        key = 0
+        for index in cell:
+            if index < 0 or index.bit_length() > bits:
+                raise ConfigError(
+                    f"cell coordinate {index} does not fit {bits} bits at "
+                    f"level {level}"
+                )
+            key = (key << bits) | index
+        return (key << self.occupancy_bits) | occurrence
+
+    def unpack_key(self, key: int, level: int) -> tuple[Cell, int]:
+        """Inverse of :meth:`pack_key`."""
+        self._check_level(level)
+        if key < 0 or key.bit_length() > self.key_bits(level):
+            raise ConfigError(
+                f"key {key} does not fit {self.key_bits(level)} bits at "
+                f"level {level}"
+            )
+        occurrence = key & ((1 << self.occupancy_bits) - 1)
+        key >>= self.occupancy_bits
+        bits = self.coord_bits(level)
+        mask = (1 << bits) - 1
+        reversed_cell = []
+        for _ in range(self.dimension):
+            reversed_cell.append(key & mask)
+            key >>= bits
+        return tuple(reversed(reversed_cell)), occurrence
+
+    # ------------------------------------------------------------- key streams
+
+    def bucket_points(
+        self, points: Sequence[Point], level: int
+    ) -> dict[Cell, list[Point]]:
+        """Group points by cell, each bucket sorted in coordinate order.
+
+        Sorting fixes the occurrence indexing: both parties rank their own
+        points inside a cell the same deterministic way, so equal
+        multiplicities cancel key-for-key regardless of noise within the
+        cell.
+        """
+        buckets: dict[Cell, list[Point]] = {}
+        for point in points:
+            buckets.setdefault(self.cell(point, level), []).append(point)
+        for bucket in buckets.values():
+            bucket.sort()
+        return buckets
+
+    def keys_for(self, points: Sequence[Point], level: int) -> Iterable[int]:
+        """One packed key per point: ``(cell, occurrence-rank)``."""
+        return self.level_keys(points, (level,))[level]
+
+    def level_keys(
+        self, points: Sequence[Point], levels: Sequence[int]
+    ) -> dict[int, list[int]]:
+        """Packed keys for every requested level, in one pass.
+
+        Points are validated and sorted once; each level then pays only the
+        bit-shifts.  Occurrence ranks follow the global sorted order, which
+        restricted to any one cell is exactly the sorted-bucket order —
+        identical keys to the per-level path, ~``len(levels)``× faster.
+        """
+        for level in levels:
+            self._check_level(level)
+        for point in points:
+            self._check_point(point)
+        shift = self.shift
+        shifted = sorted(
+            tuple(c + o for c, o in zip(point, shift)) for point in points
+        )
+        occ_bits = self.occupancy_bits
+        occ_limit = 1 << occ_bits
+        result: dict[int, list[int]] = {}
+        for level in levels:
+            bits = self.coord_bits(level)
+            counts: dict[int, int] = {}
+            keys = []
+            for coords in shifted:
+                cell_key = 0
+                for coordinate in coords:
+                    cell_key = (cell_key << bits) | (coordinate >> level)
+                occurrence = counts.get(cell_key, 0)
+                if occurrence >= occ_limit:
+                    raise CapacityExceeded(
+                        f"more than {occ_limit} points share a level-{level} "
+                        "cell; raise occupancy_bits"
+                    )
+                counts[cell_key] = occurrence + 1
+                keys.append((cell_key << occ_bits) | occurrence)
+            result[level] = keys
+        return result
+
+    def cell_diameter(self, level: int, metric: str = "l1") -> float:
+        """Upper bound on the distance between two points in one cell."""
+        self._check_level(level)
+        side = float(1 << level)
+        if metric == "l1":
+            return side * self.dimension
+        if metric == "linf":
+            return side
+        return side * (self.dimension ** 0.5)

@@ -1,0 +1,112 @@
+"""Incrementally maintained hierarchy sketches.
+
+A synchronising replica does not want to re-hash its whole dataset every
+time it sends a sketch.  Because the protocol's keys are *(cell id,
+occurrence rank)* pairs — and a cell holding ``c`` points always owns
+exactly the keys ``(cell, 0) .. (cell, c-1)`` regardless of which point has
+which rank — the sketch is a pure function of the per-cell *counts*:
+
+* inserting a point into a cell of size ``c`` adds exactly the key
+  ``(cell, c)``;
+* deleting any point from that cell removes exactly the key
+  ``(cell, c-1)``.
+
+So maintaining the full hierarchy costs ``O(log Δ)`` IBLT updates per point
+update, and the produced message is bit-identical to a from-scratch
+:meth:`~repro.core.protocol.HierarchicalReconciler.encode` of the same
+multiset.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ProtocolConfig
+from repro.core.grid import ShiftedGridHierarchy
+from repro.core.sketch import HierarchySketch, LevelSketch, level_iblt_config
+from repro.emd.metrics import Point
+from repro.errors import CapacityExceeded, ReconciliationFailure
+from repro.iblt.table import IBLT
+
+
+class IncrementalSketch:
+    """Alice-side sketch state supporting point insert/delete.
+
+    >>> config = ProtocolConfig(delta=256, dimension=1, k=2, seed=3)
+    >>> sketch = IncrementalSketch(config)
+    >>> sketch.insert((10,))
+    >>> sketch.insert((200,))
+    >>> sketch.remove((10,))
+    >>> sketch.n_points
+    1
+    """
+
+    def __init__(self, config: ProtocolConfig):
+        self.config = config
+        shift = None if config.random_shift else (0,) * config.dimension
+        self.grid = ShiftedGridHierarchy(
+            config.delta, config.dimension, config.seed, config.occupancy_bits,
+            shift=shift,
+        )
+        self.n_points = 0
+        self._tables: dict[int, IBLT] = {
+            level: IBLT(level_iblt_config(config, self.grid, level))
+            for level in config.sketch_levels
+        }
+        self._cell_counts: dict[int, dict[tuple[int, ...], int]] = {
+            level: {} for level in config.sketch_levels
+        }
+
+    def insert(self, point: Point) -> None:
+        """Add one point: one key per level."""
+        occ_limit = 1 << self.grid.occupancy_bits
+        for level, table in self._tables.items():
+            cell = self.grid.cell(point, level)
+            counts = self._cell_counts[level]
+            rank = counts.get(cell, 0)
+            if rank >= occ_limit:
+                raise CapacityExceeded(
+                    f"cell {cell} at level {level} exceeds the "
+                    f"{self.grid.occupancy_bits}-bit occupancy field"
+                )
+            table.insert(self.grid.pack_key(cell, rank, level))
+            counts[cell] = rank + 1
+        self.n_points += 1
+
+    def remove(self, point: Point) -> None:
+        """Remove one point of the multiset (any point of its cells).
+
+        Occurrence keys carry no identity, so removing *some* point from
+        each of the point's cells is exactly removing this point from the
+        sketch's perspective.
+        """
+        for level in self._tables:
+            cell = self.grid.cell(point, level)
+            if self._cell_counts[level].get(cell, 0) <= 0:
+                raise ReconciliationFailure(
+                    f"remove of {point}: cell {cell} at level {level} is empty"
+                )
+        for level, table in self._tables.items():
+            cell = self.grid.cell(point, level)
+            counts = self._cell_counts[level]
+            rank = counts[cell] - 1
+            table.delete(self.grid.pack_key(cell, rank, level))
+            if rank == 0:
+                del counts[cell]
+            else:
+                counts[cell] = rank
+        self.n_points -= 1
+
+    def insert_all(self, points) -> None:
+        """Insert every point of an iterable."""
+        for point in points:
+            self.insert(point)
+
+    def encode(self) -> bytes:
+        """The current one-round message (bit-identical to a fresh encode)."""
+        sketch = HierarchySketch(
+            n_points=self.n_points,
+            levels=[
+                LevelSketch(level, self._tables[level].copy())
+                for level in self.config.sketch_levels
+            ],
+        )
+        return sketch.to_bytes()

@@ -1,0 +1,106 @@
+"""Wire format of the hierarchy sketch (the protocol's one message).
+
+A :class:`HierarchySketch` is Alice's entire transmission in the one-round
+protocol: one IBLT per grid level, finest first, preceded by a small header.
+The per-level IBLT configs are *derived* from the shared
+:class:`~repro.core.config.ProtocolConfig` (public coins), so only cell
+contents travel.
+
+Header layout::
+
+    magic     8 bits   (0xR5 = 0xB5)
+    version   8 bits
+    n_points  varint   (|S_A|; lets the receiver check count balance)
+    n_levels  varint
+    then per level: level id (varint) followed by the level's IBLT cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ProtocolConfig
+from repro.core.grid import ShiftedGridHierarchy
+from repro.errors import SerializationError
+from repro.iblt.hashing import hash_with_salt
+from repro.iblt.table import IBLT, IBLTConfig
+from repro.net.bits import BitReader, BitWriter
+
+MAGIC = 0xB5
+VERSION = 1
+
+
+def level_iblt_config(
+    config: ProtocolConfig, grid: ShiftedGridHierarchy, level: int, cells: int | None = None
+) -> IBLTConfig:
+    """The (derived, never transmitted) IBLT config of one grid level."""
+    return IBLTConfig(
+        cells=cells if cells is not None else config.cells_per_level,
+        q=config.q,
+        key_bits=grid.key_bits(level),
+        checksum_bits=config.checksum_bits,
+        seed=hash_with_salt(level, config.seed ^ 0x1EB1),
+    )
+
+
+@dataclass
+class LevelSketch:
+    """One grid level's IBLT."""
+
+    level: int
+    table: IBLT
+
+
+@dataclass
+class HierarchySketch:
+    """The full one-round message: every sketched level, finest first."""
+
+    n_points: int
+    levels: list[LevelSketch]
+
+    def to_bytes(self) -> bytes:
+        """Serialise header + all level tables."""
+        writer = BitWriter()
+        writer.write_uint(MAGIC, 8)
+        writer.write_uint(VERSION, 8)
+        writer.write_varint(self.n_points)
+        writer.write_varint(len(self.levels))
+        for sketch in self.levels:
+            writer.write_varint(sketch.level)
+            sketch.table.write_to(writer)
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(
+        cls,
+        data: bytes,
+        config: ProtocolConfig,
+        grid: ShiftedGridHierarchy,
+        cells_by_level: dict[int, int] | None = None,
+    ) -> "HierarchySketch":
+        """Deserialise and re-derive each level's IBLT config.
+
+        ``cells_by_level`` overrides the per-level cell counts (used by the
+        adaptive protocol, whose reply sizes tables from the estimate).
+        """
+        reader = BitReader(data)
+        if reader.read_uint(8) != MAGIC:
+            raise SerializationError("bad magic byte; not a hierarchy sketch")
+        if reader.read_uint(8) != VERSION:
+            raise SerializationError("unsupported sketch version")
+        n_points = reader.read_varint()
+        n_levels = reader.read_varint()
+        if n_levels > grid.max_level + 1:
+            raise SerializationError(
+                f"sketch claims {n_levels} levels, grid has {grid.max_level + 1}"
+            )
+        levels: list[LevelSketch] = []
+        for _ in range(n_levels):
+            level = reader.read_varint()
+            if not 0 <= level <= grid.max_level:
+                raise SerializationError(f"level {level} out of range")
+            cells = cells_by_level.get(level) if cells_by_level else None
+            table_config = level_iblt_config(config, grid, level, cells)
+            levels.append(LevelSketch(level, IBLT.read_from(reader, table_config)))
+        reader.expect_end()
+        return cls(n_points=n_points, levels=levels)

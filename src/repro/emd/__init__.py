@@ -1,0 +1,29 @@
+"""Earth mover's distance substrate.
+
+The paper's quality guarantee is stated in EMD, so the evaluation harness
+needs trustworthy EMD oracles at several scales:
+
+* :func:`repro.emd.matching.emd` — exact min-cost perfect matching
+  (own successive-shortest-path implementation, optional scipy backend).
+* :func:`repro.emd.partial.emd_k` — the paper's ``EMD_k``: the best EMD
+  after deleting ``k`` points from each side.
+* :func:`repro.emd.onedim.emd_1d` — ``O(n log n)`` exact EMD on the line.
+* :class:`repro.emd.estimate.GridEmdEstimator` — an ``O(n d log Δ)``
+  estimator for benchmark-scale sets.
+"""
+
+from repro.emd.estimate import GridEmdEstimator
+from repro.emd.matching import emd, min_cost_matching
+from repro.emd.metrics import distance, pairwise_costs
+from repro.emd.onedim import emd_1d
+from repro.emd.partial import emd_k
+
+__all__ = [
+    "GridEmdEstimator",
+    "distance",
+    "emd",
+    "emd_1d",
+    "emd_k",
+    "min_cost_matching",
+    "pairwise_costs",
+]

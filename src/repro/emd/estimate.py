@@ -1,0 +1,99 @@
+"""Scalable EMD estimation via a randomly shifted grid pyramid.
+
+Exact EMD is a min-cost matching — cubic-ish and unusable at the set sizes
+the communication benchmarks run at.  The classical substitute (Indyk &
+Thaper) embeds point sets into ℓ1 using a pyramid of randomly shifted grids:
+at level ``ℓ`` (cell side ``2^ℓ``) mass that sits in different cells must
+travel; summing ``cell_side × (cell count disagreement)`` over levels
+estimates EMD within an ``O(d log Δ)`` factor in expectation, and much
+better than that on the clustered workloads used here.
+
+Averaging over a few independent shifts tightens the variance; the
+benchmarks use the estimator only where exact EMD is infeasible and report
+which oracle produced each number.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Sequence
+
+from repro.emd.metrics import Point, validate_points
+from repro.errors import ConfigError
+
+
+class GridEmdEstimator:
+    """EMD estimator over ``[delta]^d`` with ``ℓ1`` ground distance.
+
+    Parameters
+    ----------
+    delta:
+        Grid extent; coordinates must lie in ``[0, delta)``.
+    dimension:
+        Point dimension.
+    seed:
+        Seed for the random shifts (deterministic runs).
+    shifts:
+        Number of independent shifted pyramids to average.
+    """
+
+    def __init__(self, delta: int, dimension: int, seed: int = 0, shifts: int = 3):
+        if delta < 2:
+            raise ConfigError(f"delta must be >= 2, got {delta}")
+        if dimension < 1:
+            raise ConfigError(f"dimension must be >= 1, got {dimension}")
+        if shifts < 1:
+            raise ConfigError(f"shifts must be >= 1, got {shifts}")
+        self.delta = delta
+        self.dimension = dimension
+        self.levels = max(1, (delta - 1).bit_length())
+        rng = random.Random(seed)
+        self._offsets = [
+            tuple(rng.randrange(0, 1 << self.levels) for _ in range(dimension))
+            for _ in range(shifts)
+        ]
+
+    def _check(self, points: Sequence[Point], name: str) -> None:
+        validate_points(points, name=name)
+        if points and len(points[0]) != self.dimension:
+            raise ConfigError(
+                f"{name} have dimension {len(points[0])}, "
+                f"estimator configured for {self.dimension}"
+            )
+
+    def estimate(self, xs: Sequence[Point], ys: Sequence[Point]) -> float:
+        """Estimate ``EMD(xs, ys)`` (sets may have unequal sizes; surplus
+        mass is charged the grid diameter at the top level)."""
+        self._check(xs, "xs")
+        self._check(ys, "ys")
+        total = 0.0
+        for offset in self._offsets:
+            total += self._single_pyramid(xs, ys, offset)
+        return total / len(self._offsets)
+
+    def _single_pyramid(self, xs, ys, offset) -> float:
+        estimate = 0.0
+        for level in range(self.levels + 1):
+            side = 1 << level
+            x_cells = Counter(self._cell(p, offset, side) for p in xs)
+            y_cells = Counter(self._cell(p, offset, side) for p in ys)
+            disagreement = 0
+            for cell in x_cells.keys() | y_cells.keys():
+                disagreement += abs(x_cells.get(cell, 0) - y_cells.get(cell, 0))
+            if level == 0:
+                # Points in the same unit cell are identical: no cost.
+                weight = 0.0
+            else:
+                # Mass split at level ℓ travelled at least ~ the previous
+                # level's cell side; the 1/2 de-duplicates the two sides of
+                # each disagreement.
+                weight = (1 << (level - 1)) / 2.0
+            estimate += weight * disagreement
+        return estimate
+
+    def _cell(self, point: Point, offset: tuple[int, ...], side: int):
+        return tuple(
+            (coordinate + shift) // side
+            for coordinate, shift in zip(point, offset)
+        )

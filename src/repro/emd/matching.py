@@ -1,0 +1,101 @@
+"""Exact earth mover's distance via min-cost perfect matching.
+
+Two interchangeable engines:
+
+* ``backend="flow"`` — the library's own successive-shortest-path solver
+  (:mod:`repro.emd.flow`); transparent, no dependencies beyond the repo.
+* ``backend="scipy"`` — ``scipy.optimize.linear_sum_assignment`` (C speed);
+  used at benchmark scale.
+* ``backend="auto"`` — scipy above a small size cutoff, flow below
+  (keeping the reference implementation continuously exercised).
+
+Both produce the same optimum; the test suite asserts agreement.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.emd.flow import MinCostFlow
+from repro.emd.metrics import Point, pairwise_costs, validate_metric
+from repro.errors import ConfigError
+
+_AUTO_CUTOFF = 40
+
+
+def _validate_equal_sizes(xs: Sequence[Point], ys: Sequence[Point]) -> None:
+    if len(xs) != len(ys):
+        raise ConfigError(
+            f"EMD needs equal-size sets, got {len(xs)} and {len(ys)}"
+        )
+
+
+def min_cost_matching(
+    xs: Sequence[Point],
+    ys: Sequence[Point],
+    metric: str = "l1",
+    backend: str = "auto",
+) -> tuple[list[tuple[int, int]], float]:
+    """Min-cost perfect matching between two equal-size point sequences.
+
+    Returns ``(pairs, total_cost)`` where ``pairs`` is a list of
+    ``(x_index, y_index)`` tuples covering every point exactly once.
+    """
+    validate_metric(metric)
+    _validate_equal_sizes(xs, ys)
+    if backend not in ("auto", "flow", "scipy"):
+        raise ConfigError(f"unknown backend {backend!r}")
+    n = len(xs)
+    if n == 0:
+        return [], 0.0
+    costs = pairwise_costs(xs, ys, metric)
+    if backend == "scipy" or (backend == "auto" and n > _AUTO_CUTOFF):
+        rows, cols = linear_sum_assignment(costs)
+        total = float(costs[rows, cols].sum())
+        return list(zip(rows.tolist(), cols.tolist())), total
+    return _matching_by_flow(costs)
+
+
+def _matching_by_flow(costs: np.ndarray) -> tuple[list[tuple[int, int]], float]:
+    n = costs.shape[0]
+    source = 2 * n
+    sink = 2 * n + 1
+    network = MinCostFlow(2 * n + 2)
+    x_arc_ids = {}
+    for i in range(n):
+        network.add_arc(source, i, 1.0, 0.0)
+        network.add_arc(n + i, sink, 1.0, 0.0)
+    for i in range(n):
+        for j in range(n):
+            x_arc_ids[(i, j)] = network.add_arc(i, n + j, 1.0, float(costs[i, j]))
+    flow, total = network.solve(source, sink, float(n))
+    if flow < n:
+        raise ConfigError("perfect matching infeasible (internal error)")
+    pairs = [
+        (i, j)
+        for (i, j), arc_id in x_arc_ids.items()
+        if network.arc_flow(arc_id) > 0.5
+    ]
+    pairs.sort()
+    return pairs, total
+
+
+def emd(
+    xs: Sequence[Point],
+    ys: Sequence[Point],
+    metric: str = "l1",
+    backend: str = "auto",
+) -> float:
+    """Exact earth mover's distance between equal-size point sets.
+
+    ``EMD(X, Y) = min over bijections π of Σ f(x_i, y_π(i))`` — Definition
+    3.2 of the follow-up's restatement of the SIGMOD'14 model.
+
+    >>> emd([(0,), (10,)], [(1,), (10,)])
+    1.0
+    """
+    _, total = min_cost_matching(xs, ys, metric, backend)
+    return total

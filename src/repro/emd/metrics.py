@@ -1,0 +1,98 @@
+"""Point metrics on the integer grid ``[Δ]^d``.
+
+Points are tuples of integers (one tuple per point).  All public functions
+accept any sequence of such tuples; distance computations convert to numpy
+float arrays internally.
+
+Supported metrics: ``"l1"`` (the paper's default), ``"l2"``, ``"linf"``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+Point = tuple[int, ...]
+
+SUPPORTED_METRICS = ("l1", "l2", "linf")
+
+
+def validate_metric(metric: str) -> str:
+    """Return the metric name if supported, else raise."""
+    if metric not in SUPPORTED_METRICS:
+        raise ConfigError(
+            f"metric must be one of {SUPPORTED_METRICS}, got {metric!r}"
+        )
+    return metric
+
+
+def validate_points(points: Sequence[Point], *, name: str = "points") -> None:
+    """Check that all points share one dimension and have int coordinates."""
+    if not points:
+        return
+    dimension = len(points[0])
+    for index, point in enumerate(points):
+        if len(point) != dimension:
+            raise ConfigError(
+                f"{name}[{index}] has dimension {len(point)}, expected {dimension}"
+            )
+
+
+def distance(a: Point, b: Point, metric: str = "l1") -> float:
+    """Distance between two points.
+
+    >>> distance((0, 0), (3, 4), "l1")
+    7.0
+    >>> distance((0, 0), (3, 4), "l2")
+    5.0
+    >>> distance((0, 0), (3, 4), "linf")
+    4.0
+    """
+    validate_metric(metric)
+    if len(a) != len(b):
+        raise ConfigError(f"dimension mismatch: {len(a)} vs {len(b)}")
+    deltas = [abs(x - y) for x, y in zip(a, b)]
+    if metric == "l1":
+        return float(sum(deltas))
+    if metric == "linf":
+        return float(max(deltas)) if deltas else 0.0
+    return float(np.sqrt(sum(d * d for d in deltas)))
+
+
+def pairwise_costs(
+    xs: Sequence[Point], ys: Sequence[Point], metric: str = "l1"
+) -> np.ndarray:
+    """Dense ``len(xs) × len(ys)`` cost matrix under the metric."""
+    validate_metric(metric)
+    validate_points(xs, name="xs")
+    validate_points(ys, name="ys")
+    if xs and ys and len(xs[0]) != len(ys[0]):
+        raise ConfigError(
+            f"dimension mismatch: {len(xs[0])} vs {len(ys[0])}"
+        )
+    if not xs or not ys:
+        return np.zeros((len(xs), len(ys)))
+    a = np.asarray(xs, dtype=np.float64).reshape(len(xs), -1)
+    b = np.asarray(ys, dtype=np.float64).reshape(len(ys), -1)
+    diff = np.abs(a[:, None, :] - b[None, :, :])
+    if metric == "l1":
+        return diff.sum(axis=2)
+    if metric == "linf":
+        return diff.max(axis=2)
+    return np.sqrt((diff * diff).sum(axis=2))
+
+
+def diameter(delta: int, dimension: int, metric: str = "l1") -> float:
+    """Diameter of the grid ``[delta]^d`` under the metric."""
+    validate_metric(metric)
+    if delta <= 0 or dimension <= 0:
+        raise ConfigError("delta and dimension must be positive")
+    side = float(delta - 1)
+    if metric == "l1":
+        return side * dimension
+    if metric == "linf":
+        return side
+    return side * float(np.sqrt(dimension))

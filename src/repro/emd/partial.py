@@ -1,0 +1,98 @@
+"""``EMD_k`` — earth mover's distance with the k worst points forgiven.
+
+``EMD_k(X, Y)`` is the cheapest cost of a matching that covers all but ``k``
+points of each side (Definition 3.3 in the follow-up's restatement).  It is
+the quantity against which the paper's protocol is judged: with budget
+parameter ``k`` the repaired set satisfies
+``EMD(S_A, S'_B) ≤ O(d) · EMD_k(S_A, S_B)``.
+
+Computation: min-cost perfect matching on a ``(n+k) × (n+k)`` cost matrix
+where ``k`` dummy rows/columns with zero cost absorb the forgiven points.
+Forgiving *fewer* than ``k`` points is never cheaper-to-forbid (deleting
+points only removes matching obligations), so allowing dummy-dummy pairs is
+sound and the construction computes ``min_{j ≤ k} EMD_j = EMD_k`` exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.emd.flow import MinCostFlow
+from repro.emd.metrics import Point, pairwise_costs, validate_metric
+from repro.errors import ConfigError
+
+_AUTO_CUTOFF = 40
+
+
+def emd_k(
+    xs: Sequence[Point],
+    ys: Sequence[Point],
+    k: int,
+    metric: str = "l1",
+    backend: str = "auto",
+) -> float:
+    """Exact ``EMD_k`` between equal-size point sets.
+
+    Parameters
+    ----------
+    xs, ys:
+        Equal-size point sequences.
+    k:
+        Number of points forgiven on *each* side; ``emd_k(x, y, 0)`` equals
+        ``emd(x, y)``; ``k >= n`` gives 0.
+    """
+    validate_metric(metric)
+    if len(xs) != len(ys):
+        raise ConfigError(
+            f"EMD_k needs equal-size sets, got {len(xs)} and {len(ys)}"
+        )
+    if k < 0:
+        raise ConfigError(f"k must be non-negative, got {k}")
+    if backend not in ("auto", "flow", "scipy"):
+        raise ConfigError(f"unknown backend {backend!r}")
+    n = len(xs)
+    if n == 0 or k >= n:
+        return 0.0
+    if k == 0:
+        # Delegate to the perfect-matching path (cheaper, same answer).
+        from repro.emd.matching import emd
+
+        return emd(xs, ys, metric, backend)
+    costs = pairwise_costs(xs, ys, metric)
+    if backend == "scipy" or (backend == "auto" and n > _AUTO_CUTOFF):
+        return _emd_k_scipy(costs, k)
+    return _emd_k_flow(costs, k, n)
+
+
+def _emd_k_scipy(costs: np.ndarray, k: int) -> float:
+    n = costs.shape[0]
+    padded = np.zeros((n + k, n + k))
+    padded[:n, :n] = costs
+    # Dummy columns absorb up to k of xs; dummy rows absorb up to k of ys;
+    # dummy-dummy pairs cost 0 so unused forgiveness is free.
+    rows, cols = linear_sum_assignment(padded)
+    return float(padded[rows, cols].sum())
+
+
+def _emd_k_flow(costs: np.ndarray, k: int, n: int) -> float:
+    """Reference path: push exactly n - k units through the bipartite graph.
+
+    Successive-shortest-path flows are optimal at every intermediate value,
+    so the cost after ``n - k`` augmentations is exactly ``EMD_k``.
+    """
+    source = 2 * n
+    sink = 2 * n + 1
+    network = MinCostFlow(2 * n + 2)
+    for i in range(n):
+        network.add_arc(source, i, 1.0, 0.0)
+        network.add_arc(n + i, sink, 1.0, 0.0)
+    for i in range(n):
+        for j in range(n):
+            network.add_arc(i, n + j, 1.0, float(costs[i, j]))
+    flow, total = network.solve(source, sink, float(n - k))
+    if flow + 1e-9 < n - k:
+        raise ConfigError("partial matching infeasible (internal error)")
+    return total

@@ -1,0 +1,57 @@
+"""Exception hierarchy shared by every ``repro`` subsystem.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+type at protocol boundaries while tests can still assert on the specific
+subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A parameter value is invalid or inconsistent with other parameters."""
+
+
+class SerializationError(ReproError):
+    """A message could not be encoded to, or decoded from, its wire form."""
+
+
+class DecodeFailure(ReproError):
+    """An invertible sketch could not be fully peeled.
+
+    Attributes
+    ----------
+    recovered:
+        Number of entries successfully extracted before the peeler stalled.
+    remaining:
+        Number of non-empty cells left in the sketch when peeling stopped.
+    """
+
+    def __init__(self, message: str, recovered: int = 0, remaining: int = 0):
+        super().__init__(message)
+        self.recovered = recovered
+        self.remaining = remaining
+
+
+class ReconciliationFailure(ReproError):
+    """A reconciliation protocol could not produce a repaired set.
+
+    Raised, for example, when no level of the hierarchical sketch peels, or
+    when an exact baseline's difference estimate was exceeded.
+    """
+
+
+class ChannelError(ReproError):
+    """Misuse of the simulated channel (e.g. a reply on a closed channel)."""
+
+
+class CapacityExceeded(ReproError):
+    """More items were inserted into a sketch than its sizing supports.
+
+    This is advisory — IBLTs may still decode above their nominal capacity —
+    but protocols that promised a bound surface the violation explicitly.
+    """

@@ -1,0 +1,22 @@
+"""Finite-field polynomial substrate.
+
+Implements arithmetic over the prime field GF(p) with ``p = 2^61 - 1``
+(a Mersenne prime comfortably larger than any packed point key in this
+library), dense polynomial algebra, rational-function interpolation, and
+root finding.  This is the machinery behind the characteristic-polynomial
+(Minsky–Trachtenberg–Zippel) exact-reconciliation baseline.
+"""
+
+from repro.gf.factor import roots_of_split_polynomial
+from repro.gf.field import MERSENNE61, PrimeField
+from repro.gf.interp import RationalFunction, interpolate_rational
+from repro.gf.poly import Poly
+
+__all__ = [
+    "MERSENNE61",
+    "Poly",
+    "PrimeField",
+    "RationalFunction",
+    "interpolate_rational",
+    "roots_of_split_polynomial",
+]

@@ -1,0 +1,105 @@
+"""Prime-field arithmetic.
+
+A :class:`PrimeField` is a tiny value object wrapping a prime modulus with
+the handful of operations the polynomial layer needs.  The default modulus is
+the Mersenne prime ``2^61 - 1``: large enough that every packed point key in
+this library (≤ 60 bits) is a distinct field element, small enough that
+Python's fixed-size int fast path applies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: The default modulus, 2^61 - 1.
+MERSENNE61 = (1 << 61) - 1
+
+
+def _is_probable_prime(n: int) -> bool:
+    """Deterministic Miller–Rabin for n < 3.3e24 (fixed witness set)."""
+    if n < 2:
+        return False
+    small_primes = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+    for prime in small_primes:
+        if n % prime == 0:
+            return n == prime
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for witness in small_primes:
+        x = pow(witness, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class PrimeField:
+    """The field GF(p) for a prime ``p``.
+
+    >>> field = PrimeField(7)
+    >>> field.mul(3, 5)
+    1
+    >>> field.inv(3)
+    5
+    """
+
+    p: int = MERSENNE61
+
+    def __post_init__(self) -> None:
+        if self.p < 2 or not _is_probable_prime(self.p):
+            raise ConfigError(f"modulus {self.p} is not prime")
+
+    def normalize(self, a: int) -> int:
+        """Map an arbitrary integer into [0, p)."""
+        return a % self.p
+
+    def add(self, a: int, b: int) -> int:
+        """a + b (mod p)."""
+        result = a + b
+        return result - self.p if result >= self.p else result
+
+    def sub(self, a: int, b: int) -> int:
+        """a - b (mod p)."""
+        result = a - b
+        return result + self.p if result < 0 else result
+
+    def neg(self, a: int) -> int:
+        """-a (mod p)."""
+        return self.p - a if a else 0
+
+    def mul(self, a: int, b: int) -> int:
+        """a * b (mod p)."""
+        return a * b % self.p
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse of a nonzero element (Fermat)."""
+        if a % self.p == 0:
+            raise ZeroDivisionError("inverse of zero in GF(p)")
+        return pow(a, self.p - 2, self.p)
+
+    def div(self, a: int, b: int) -> int:
+        """a / b (mod p)."""
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, e: int) -> int:
+        """a ** e (mod p); negative exponents invert first."""
+        if e < 0:
+            return pow(self.inv(a), -e, self.p)
+        return pow(a, e, self.p)
+
+    def random_element(self, rng: random.Random, *, nonzero: bool = False) -> int:
+        """A uniform element, optionally excluding zero."""
+        low = 1 if nonzero else 0
+        return rng.randrange(low, self.p)

@@ -1,0 +1,30 @@
+"""Invertible Bloom Lookup Table substrate.
+
+This package provides the sketch machinery under both the paper's robust
+protocol and the exact-reconciliation baselines:
+
+* :mod:`repro.iblt.hashing` — deterministic 64-bit mixers and salted hash
+  families shared by both parties through public coins.
+* :mod:`repro.iblt.table` — the IBLT itself (count / keySum / checkSum cells)
+  with insert, delete, subtract and wire (de)serialisation.
+* :mod:`repro.iblt.decode` — the peeling decoder and its result type.
+* :mod:`repro.iblt.strata` — the strata estimator for set-difference size.
+"""
+
+from repro.iblt.decode import DecodeResult, decode
+from repro.iblt.hashing import HashFamily, checksum64, splitmix64
+from repro.iblt.minwise import MinwiseEstimator
+from repro.iblt.strata import StrataEstimator
+from repro.iblt.table import IBLT, IBLTConfig
+
+__all__ = [
+    "IBLT",
+    "IBLTConfig",
+    "DecodeResult",
+    "decode",
+    "HashFamily",
+    "MinwiseEstimator",
+    "StrataEstimator",
+    "checksum64",
+    "splitmix64",
+]

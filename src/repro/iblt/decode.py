@@ -1,0 +1,109 @@
+"""Peeling decoder for (subtracted) IBLTs.
+
+Peeling repeatedly finds a *pure* cell — one whose count is ±1 and whose
+checksum field matches the checksum of its key field — extracts the key, and
+removes it from its other cells, which may expose new pure cells.  On a
+subtracted table (Alice − Bob) the sign of the pure cell tells which side
+owned the key.
+
+The process is exactly the 2-core peeling of a random ``q``-uniform
+hypergraph: it recovers everything iff the hypergraph of remaining keys has
+an empty 2-core, which holds w.h.p. while the number of difference keys is
+below ``PEELING_THRESHOLDS[q] * cells``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.iblt.table import IBLT
+
+
+@dataclass
+class DecodeResult:
+    """Outcome of peeling one subtracted IBLT.
+
+    Attributes
+    ----------
+    success:
+        True when the table peeled to empty.
+    alice_keys:
+        Keys recovered with positive sign (present only in the minuend).
+    bob_keys:
+        Keys recovered with negative sign (present only in the subtrahend).
+    remaining_cells:
+        Non-empty cells left when peeling stalled (0 on success).
+    peel_order:
+        Keys in the order they were extracted (diagnostics / ablations).
+    """
+
+    success: bool
+    alice_keys: list[int] = field(default_factory=list)
+    bob_keys: list[int] = field(default_factory=list)
+    remaining_cells: int = 0
+    peel_order: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def difference_size(self) -> int:
+        """Total number of keys recovered from both sides."""
+        return len(self.alice_keys) + len(self.bob_keys)
+
+
+def decode(table: IBLT, *, max_items: int | None = None) -> DecodeResult:
+    """Peel ``table`` (non-destructively) and return the recovered difference.
+
+    Parameters
+    ----------
+    table:
+        A subtracted IBLT.  (Peeling a single party's table also works and
+        lists its contents.)
+    max_items:
+        Guard: abort with ``success=False`` if more than this many keys get
+        extracted.  Protocols use it to reject levels that decode to an
+        implausibly large difference.  Defaults to ``2 × cells``: a
+        legitimate full peel can never extract more than the peeling
+        threshold (~0.82 × cells) keys, while a *false* peel — a weak
+        checksum admitting a garbage key — can otherwise churn the table
+        forever (every bogus extraction re-perturbs cells and can expose
+        further bogus "pure" cells).  The cap turns that pathology into a
+        clean failure.
+
+    Notes
+    -----
+    The copy-then-peel costs O(cells + difference); tables in this library
+    are O(k)-sized so this is cheap compared to hashing the input sets.
+    """
+    if max_items is None:
+        max_items = 2 * table.config.cells
+    work = table.copy()
+    result = DecodeResult(success=False)
+
+    stack = [i for i in range(work.config.cells) if work.cell_is_pure(i)]
+    seen_pure = set(stack)
+
+    while stack:
+        index = stack.pop()
+        seen_pure.discard(index)
+        sign = work.cell_is_pure(index)
+        if sign == 0:
+            continue  # became impure/empty since queued
+        key = work.key_sums[index]
+        if sign > 0:
+            result.alice_keys.append(key)
+            work.delete(key)
+        else:
+            result.bob_keys.append(key)
+            work.insert(key)
+        result.peel_order.append((key, sign))
+        if result.difference_size > max_items:
+            result.success = False
+            result.remaining_cells = work.nonzero_cells()
+            return result
+        for neighbour in work.hashes.indices(key):
+            if work.cell_is_pure(neighbour) and neighbour not in seen_pure:
+                stack.append(neighbour)
+                seen_pure.add(neighbour)
+
+    result.success = work.is_empty()
+    result.remaining_cells = work.nonzero_cells()
+    return result

@@ -1,0 +1,152 @@
+"""Strata estimator for set-difference size (Eppstein et al., SIGCOMM 2011).
+
+Exact-reconciliation protocols must size their IBLT to the (unknown)
+difference ``|S_A △ S_B|``.  The strata estimator partitions the key space
+into geometric strata — stratum ``i`` holds keys whose hashed value has
+exactly ``i`` trailing zero bits, a ``2^-(i+1)`` fraction — and keeps a small
+fixed-size IBLT per stratum.  Deep strata see few difference keys and decode;
+scaling the decoded counts back up estimates the total.
+
+The estimator is reused by the robust protocol's adaptive variant to pick the
+finest decodable grid level before any full-size sketch is shipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, SerializationError
+from repro.iblt.decode import decode
+from repro.iblt.hashing import TabulationHash, trailing_zeros
+from repro.iblt.table import IBLT, IBLTConfig
+from repro.net.bits import BitReader, BitWriter
+
+
+@dataclass(frozen=True)
+class StrataConfig:
+    """Shared (public-coin) parameters of a strata estimator."""
+
+    strata: int = 16
+    cells_per_stratum: int = 40
+    q: int = 4
+    key_bits: int = 64
+    checksum_bits: int = 32
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.strata < 2:
+            raise ConfigError(f"need at least 2 strata, got {self.strata}")
+        if self.cells_per_stratum < self.q:
+            raise ConfigError(
+                f"cells_per_stratum must be >= q, got {self.cells_per_stratum}"
+            )
+
+    def iblt_config(self, stratum: int) -> IBLTConfig:
+        """Config of one stratum's table (each stratum gets its own salt)."""
+        cells = ((self.cells_per_stratum + self.q - 1) // self.q) * self.q
+        return IBLTConfig(
+            cells=cells,
+            q=self.q,
+            key_bits=self.key_bits,
+            checksum_bits=self.checksum_bits,
+            seed=self.seed ^ (0x51A7A + stratum * 0x9E37),
+        )
+
+
+class StrataEstimator:
+    """One party's strata sketch.
+
+    Usage: each party builds an estimator over its keys with identical
+    config, one ships ``to_bytes()``, the receiver calls
+    :meth:`estimate_difference` against its own estimator.
+    """
+
+    def __init__(self, config: StrataConfig):
+        self.config = config
+        self._stratum_hash = TabulationHash(config.seed ^ 0x57A7A)
+        self.tables = [
+            IBLT(config.iblt_config(i)) for i in range(config.strata)
+        ]
+
+    def _stratum_of(self, key: int) -> int:
+        return trailing_zeros(self._stratum_hash(key), self.config.strata - 1)
+
+    def insert(self, key: int) -> None:
+        """Add one key to its stratum's table."""
+        self.tables[self._stratum_of(key)].insert(key)
+
+    def insert_all(self, keys) -> None:
+        """Add every key of an iterable."""
+        for key in keys:
+            self.insert(key)
+
+    def estimate_difference(self, other: "StrataEstimator") -> int:
+        """Estimate ``|self_keys △ other_keys|``.
+
+        Scans from the deepest stratum towards stratum 0, accumulating the
+        decoded difference of every stratum that peels; on the first stratum
+        ``i`` that fails, returns ``2^(i+1) × accumulated``.  If every
+        stratum decodes the exact total is returned.
+
+        The estimate is intentionally conservative-ish; callers typically
+        multiply by a small headroom factor before sizing an IBLT.
+        """
+        if self.config != other.config:
+            raise ConfigError("strata estimators built with different configs")
+        accumulated = 0
+        for i in range(self.config.strata - 1, -1, -1):
+            diff = self.tables[i].subtract(other.tables[i])
+            result = decode(diff)
+            if not result.success:
+                if accumulated == 0:
+                    # The deepest strata already overflowed: the difference
+                    # is at least the failed table's capacity at this
+                    # stratum's sampling rate.  Overestimating is the safe
+                    # direction (callers only use the estimate to size
+                    # sketches / pick coarser levels).
+                    accumulated = max(1, self.tables[i].config.capacity)
+                return max(1, (2 ** (i + 1)) * accumulated)
+            accumulated += result.difference_size
+        return accumulated
+
+    # ------------------------------------------------------------------ wire
+
+    def write_to(self, writer: BitWriter) -> None:
+        """Serialise every stratum's table."""
+        for table in self.tables:
+            table.write_to(writer)
+
+    def to_bytes(self) -> bytes:
+        """Serialise to a standalone byte string."""
+        writer = BitWriter()
+        self.write_to(writer)
+        return writer.getvalue()
+
+    @classmethod
+    def read_from(cls, reader: BitReader, config: StrataConfig) -> "StrataEstimator":
+        """Deserialise an estimator written with :meth:`write_to`."""
+        estimator = cls(config)
+        estimator.tables = [
+            IBLT.read_from(reader, config.iblt_config(i))
+            for i in range(config.strata)
+        ]
+        return estimator
+
+    @classmethod
+    def from_bytes(cls, data: bytes, config: StrataConfig) -> "StrataEstimator":
+        """Deserialise from a standalone byte string."""
+        reader = BitReader(data)
+        estimator = cls.read_from(reader, config)
+        try:
+            reader.expect_end()
+        except SerializationError as exc:
+            raise SerializationError(
+                f"strata payload has trailing data: {exc}"
+            ) from exc
+        return estimator
+
+    def serialized_bits(self) -> int:
+        """Measured wire size in bits."""
+        writer = BitWriter()
+        self.write_to(writer)
+        return writer.bit_length

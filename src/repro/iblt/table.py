@@ -1,0 +1,269 @@
+"""The Invertible Bloom Lookup Table (IBLT).
+
+An IBLT with ``m`` cells and ``q`` hash functions stores a multiset of keys
+such that, after *subtracting* another party's table built with the same
+public coins, the symmetric difference of the two key sets can be recovered
+by peeling (see :mod:`repro.iblt.decode`) whenever the difference is modestly
+smaller than ``m``.
+
+Cells hold three fields, exactly as in Goodrich & Mitzenmacher (2011) and the
+Difference Digest of Eppstein et al. (2011):
+
+``count``
+    Signed number of keys hashed into the cell (insertions minus deletions).
+``key_sum``
+    XOR of all keys hashed into the cell (keys are ``key_bits``-wide ints).
+``check_sum``
+    XOR of a salted checksum of each key; guards peeling against cells whose
+    ``count`` is ±1 only by coincidence.
+
+The contract required by every caller in this library: **within one party's
+table each key is inserted at most once.**  The robust protocol meets it with
+occurrence-indexed cell keys; the exact baselines insert set elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, SerializationError
+from repro.iblt.hashing import HashFamily, checksum64, splitmix64
+from repro.net.bits import BitReader, BitWriter
+
+#: Asymptotic peeling thresholds for q-regular random hypergraphs: a table
+#: with m cells decodes w.h.p. while the number of stored keys stays below
+#: ``threshold(q) * m``.  (Molloy 2004 / Goodrich-Mitzenmacher 2011.)
+PEELING_THRESHOLDS = {
+    3: 0.818,
+    4: 0.772,
+    5: 0.701,
+    6: 0.637,
+}
+
+#: Default safety factor applied below the asymptotic threshold; finite
+#: tables need headroom (the threshold is sharp only as m -> infinity).
+DEFAULT_SAFETY = 0.85
+
+
+def recommended_cells(expected_diff: int, q: int = 4, safety: float = DEFAULT_SAFETY) -> int:
+    """Cells needed to decode ``expected_diff`` keys w.h.p.
+
+    Rounds up to a multiple of ``q`` (partitioned hashing) and never returns
+    fewer than ``8 * q`` cells so tiny tables stay decodable.
+    """
+    if expected_diff < 0:
+        raise ConfigError(f"expected_diff must be non-negative, got {expected_diff}")
+    if q not in PEELING_THRESHOLDS:
+        raise ConfigError(
+            f"q must be one of {sorted(PEELING_THRESHOLDS)}, got {q}"
+        )
+    if not 0 < safety <= 1:
+        raise ConfigError(f"safety must be in (0, 1], got {safety}")
+    load = PEELING_THRESHOLDS[q] * safety
+    cells = max(8 * q, int(expected_diff / load) + 1)
+    return ((cells + q - 1) // q) * q
+
+
+@dataclass(frozen=True)
+class IBLTConfig:
+    """Shared (public-coin) parameters of an IBLT.
+
+    Both parties must construct their tables from an identical config; the
+    config itself is never transmitted.
+    """
+
+    cells: int
+    q: int = 4
+    key_bits: int = 64
+    checksum_bits: int = 32
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.q < 2:
+            raise ConfigError(f"q must be >= 2, got {self.q}")
+        if self.cells <= 0 or self.cells % self.q != 0:
+            raise ConfigError(
+                f"cells must be a positive multiple of q={self.q}, got {self.cells}"
+            )
+        if self.key_bits <= 0:
+            raise ConfigError(f"key_bits must be positive, got {self.key_bits}")
+        if not 1 <= self.checksum_bits <= 64:
+            raise ConfigError(
+                f"checksum_bits must be in [1, 64], got {self.checksum_bits}"
+            )
+
+    @property
+    def capacity(self) -> int:
+        """Nominal number of difference keys this table is sized to decode."""
+        threshold = PEELING_THRESHOLDS.get(self.q, PEELING_THRESHOLDS[4])
+        return int(self.cells * threshold * DEFAULT_SAFETY)
+
+    def hash_family(self) -> HashFamily:
+        """The cell-index hash family implied by this config."""
+        return HashFamily(self.q, self.cells, self.seed)
+
+
+class IBLT:
+    """A mutable IBLT instance.
+
+    Parameters
+    ----------
+    config:
+        Shared parameters (see :class:`IBLTConfig`).
+
+    Notes
+    -----
+    ``subtract`` produces the Alice-minus-Bob table whose peeling yields the
+    two-sided symmetric difference: keys with net count ``+1`` belong only to
+    the minuend (Alice), ``-1`` only to the subtrahend (Bob).
+    """
+
+    __slots__ = (
+        "config", "_hashes", "counts", "key_sums", "check_sums",
+        "_check_premix", "_check_mask",
+    )
+
+    def __init__(self, config: IBLTConfig):
+        self.config = config
+        self._hashes = config.hash_family()
+        self.counts = [0] * config.cells
+        self.key_sums = [0] * config.cells
+        self.check_sums = [0] * config.cells
+        # Shared-mix checksum constants (same value as checksum64 computes).
+        self._check_premix = splitmix64(config.seed ^ 0xC0FFEE)
+        self._check_mask = (1 << config.checksum_bits) - 1
+
+    @property
+    def hashes(self) -> HashFamily:
+        """The cell-index hash family used by this table."""
+        return self._hashes
+
+    def _check_key(self, key: int) -> None:
+        if key < 0:
+            raise ValueError(f"keys must be non-negative, got {key}")
+        if key.bit_length() > self.config.key_bits:
+            raise ValueError(
+                f"key {key} exceeds configured key width "
+                f"({key.bit_length()} > {self.config.key_bits} bits)"
+            )
+
+    def _update(self, key: int, delta: int) -> None:
+        self._check_key(key)
+        key_mix = splitmix64(key)
+        check = splitmix64(self._check_premix ^ key_mix) & self._check_mask
+        for index in self._hashes.indices_from_mix(key_mix):
+            self.counts[index] += delta
+            self.key_sums[index] ^= key
+            self.check_sums[index] ^= check
+
+    def insert(self, key: int) -> None:
+        """Add one key to the table."""
+        self._update(key, +1)
+
+    def delete(self, key: int) -> None:
+        """Remove one key from the table (counts may go negative)."""
+        self._update(key, -1)
+
+    def insert_all(self, keys) -> None:
+        """Insert every key of an iterable."""
+        for key in keys:
+            self.insert(key)
+
+    def delete_all(self, keys) -> None:
+        """Delete every key of an iterable."""
+        for key in keys:
+            self.delete(key)
+
+    def subtract(self, other: "IBLT") -> "IBLT":
+        """Return a new table equal to ``self - other`` cell-wise.
+
+        Both tables must share an identical config (same public coins).
+        """
+        if self.config != other.config:
+            raise ConfigError("cannot subtract IBLTs with different configs")
+        result = IBLT(self.config)
+        for i in range(self.config.cells):
+            result.counts[i] = self.counts[i] - other.counts[i]
+            result.key_sums[i] = self.key_sums[i] ^ other.key_sums[i]
+            result.check_sums[i] = self.check_sums[i] ^ other.check_sums[i]
+        return result
+
+    def is_empty(self) -> bool:
+        """True when every cell is zero (sets were identical)."""
+        return (
+            all(c == 0 for c in self.counts)
+            and all(k == 0 for k in self.key_sums)
+            and all(s == 0 for s in self.check_sums)
+        )
+
+    def nonzero_cells(self) -> int:
+        """Number of cells with any nonzero field (decode-failure diagnostic)."""
+        return sum(
+            1
+            for count, key, check in zip(self.counts, self.key_sums, self.check_sums)
+            if count or key or check
+        )
+
+    def cell_is_pure(self, index: int) -> int:
+        """Return ``+1``/``-1`` if cell ``index`` holds exactly one key from
+        the corresponding side (checksum-verified), else ``0``."""
+        count = self.counts[index]
+        if count not in (1, -1):
+            return 0
+        key = self.key_sums[index]
+        expected = checksum64(key, self.config.seed, self.config.checksum_bits)
+        if self.check_sums[index] != expected:
+            return 0
+        return count
+
+    def copy(self) -> "IBLT":
+        """Deep copy (used by the decoder, which peels destructively)."""
+        clone = IBLT(self.config)
+        clone.counts = list(self.counts)
+        clone.key_sums = list(self.key_sums)
+        clone.check_sums = list(self.check_sums)
+        return clone
+
+    # ------------------------------------------------------------------ wire
+
+    def write_to(self, writer: BitWriter) -> None:
+        """Serialise cell contents (the config travels via public coins)."""
+        key_bits = self.config.key_bits
+        check_bits = self.config.checksum_bits
+        for count, key, check in zip(self.counts, self.key_sums, self.check_sums):
+            writer.write_svarint(count)
+            writer.write_uint(key, key_bits)
+            writer.write_uint(check, check_bits)
+
+    def to_bytes(self) -> bytes:
+        """Serialise to a standalone byte string."""
+        writer = BitWriter()
+        self.write_to(writer)
+        return writer.getvalue()
+
+    @classmethod
+    def read_from(cls, reader: BitReader, config: IBLTConfig) -> "IBLT":
+        """Deserialise a table previously written with :meth:`write_to`."""
+        table = cls(config)
+        for i in range(config.cells):
+            table.counts[i] = reader.read_svarint()
+            table.key_sums[i] = reader.read_uint(config.key_bits)
+            table.check_sums[i] = reader.read_uint(config.checksum_bits)
+        return table
+
+    @classmethod
+    def from_bytes(cls, data: bytes, config: IBLTConfig) -> "IBLT":
+        """Deserialise from a standalone byte string."""
+        reader = BitReader(data)
+        table = cls.read_from(reader, config)
+        try:
+            reader.expect_end()
+        except SerializationError as exc:
+            raise SerializationError(f"IBLT payload has trailing data: {exc}") from exc
+        return table
+
+    def serialized_bits(self) -> int:
+        """Measured wire size in bits (varint counts make this data-dependent)."""
+        writer = BitWriter()
+        self.write_to(writer)
+        return writer.bit_length

@@ -1,0 +1,20 @@
+"""Communication substrate: bit-exact serialisation and a simulated channel.
+
+Every protocol in this library ships its messages as real byte strings built
+with :class:`~repro.net.bits.BitWriter` and accounts for them on a
+:class:`~repro.net.channel.SimulatedChannel`, so the communication numbers in
+the benchmarks are measured, not estimated.
+"""
+
+from repro.net.bits import BitReader, BitWriter
+from repro.net.channel import Direction, Message, SimulatedChannel
+from repro.net.transcript import Transcript
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "Direction",
+    "Message",
+    "SimulatedChannel",
+    "Transcript",
+]

@@ -1,0 +1,217 @@
+"""Bit-granular serialisation primitives.
+
+The reconciliation sketches in this library are sized in *bits* — the paper's
+guarantees are stated in bits of communication — so messages are packed with
+explicit field widths rather than relying on Python object sizes.
+
+:class:`BitWriter` accumulates fields most-significant-bit first into a byte
+string; :class:`BitReader` replays them.  Both support:
+
+* fixed-width unsigned integers (``write_uint`` / ``read_uint``),
+* LEB128-style varints (``write_varint`` / ``read_varint``),
+* zigzag-mapped signed integers (``write_svarint`` / ``read_svarint``),
+* raw byte strings with a varint length prefix (``write_bytes``).
+
+Example
+-------
+>>> w = BitWriter()
+>>> w.write_uint(5, 3)
+>>> w.write_varint(300)
+>>> r = BitReader(w.getvalue())
+>>> r.read_uint(3)
+5
+>>> r.read_varint()
+300
+"""
+
+from __future__ import annotations
+
+from repro.errors import SerializationError
+
+
+def uint_width(value: int) -> int:
+    """Return the minimum number of bits needed to store ``value`` (≥ 1).
+
+    >>> uint_width(0), uint_width(1), uint_width(255), uint_width(256)
+    (1, 1, 8, 9)
+    """
+    if value < 0:
+        raise SerializationError(f"uint_width of negative value {value}")
+    return max(1, value.bit_length())
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed integer onto an unsigned one (0,-1,1,-2,... -> 0,1,2,3...)."""
+    return value * 2 if value >= 0 else -value * 2 - 1
+
+
+_zigzag_big = zigzag_encode
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    if value < 0:
+        raise SerializationError(f"zigzag_decode of negative value {value}")
+    return value // 2 if value % 2 == 0 else -(value + 1) // 2
+
+
+class BitWriter:
+    """Accumulate bit fields MSB-first into a byte string."""
+
+    def __init__(self) -> None:
+        self._chunks: list[int] = []
+        self._bit_len = 0
+
+    def __len__(self) -> int:
+        """Number of bits written so far."""
+        return self._bit_len
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        return self._bit_len
+
+    @property
+    def byte_length(self) -> int:
+        """Number of bytes the current content rounds up to."""
+        return (self._bit_len + 7) // 8
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        if bit not in (0, 1):
+            raise SerializationError(f"bit must be 0 or 1, got {bit!r}")
+        self._chunks.append((bit, 1))
+        self._bit_len += 1
+
+    def write_uint(self, value: int, width: int) -> None:
+        """Append ``value`` as an unsigned integer of exactly ``width`` bits."""
+        if width <= 0:
+            raise SerializationError(f"width must be positive, got {width}")
+        if value < 0:
+            raise SerializationError(f"cannot write negative value {value} as uint")
+        if value.bit_length() > width:
+            raise SerializationError(
+                f"value {value} does not fit in {width} bits"
+            )
+        self._chunks.append((value, width))
+        self._bit_len += width
+
+    def write_varint(self, value: int) -> None:
+        """Append an unsigned integer using 8-bit LEB128 groups.
+
+        Each group spends 8 bits: a continuation bit plus 7 payload bits.
+        Values below 128 therefore cost exactly one byte.
+        """
+        if value < 0:
+            raise SerializationError(f"cannot write negative varint {value}")
+        while True:
+            group = value & 0x7F
+            value >>= 7
+            cont = 1 if value else 0
+            self._chunks.append(((cont << 7) | group, 8))
+            self._bit_len += 8
+            if not cont:
+                return
+
+    def write_svarint(self, value: int) -> None:
+        """Append a signed integer with zigzag + varint encoding."""
+        self.write_varint(_zigzag_big(value))
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append a length-prefixed byte string."""
+        self.write_varint(len(data))
+        for byte in data:
+            self._chunks.append((byte, 8))
+        self._bit_len += 8 * len(data)
+
+    def getvalue(self) -> bytes:
+        """Return the accumulated bits, zero-padded to a whole byte string."""
+        acc = 0
+        for value, width in self._chunks:
+            acc = (acc << width) | value
+        pad = (8 - self._bit_len % 8) % 8
+        acc <<= pad
+        return acc.to_bytes((self._bit_len + pad) // 8, "big")
+
+
+class BitReader:
+    """Replay bit fields from a byte string produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._value = int.from_bytes(data, "big")
+        self._total_bits = 8 * len(data)
+        self._pos = 0
+
+    @property
+    def bits_consumed(self) -> int:
+        """Number of bits read so far."""
+        return self._pos
+
+    @property
+    def bits_remaining(self) -> int:
+        """Number of bits not yet read (including any tail padding)."""
+        return self._total_bits - self._pos
+
+    def _take(self, width: int) -> int:
+        if width <= 0:
+            raise SerializationError(f"width must be positive, got {width}")
+        if self._pos + width > self._total_bits:
+            raise SerializationError(
+                f"read of {width} bits overruns message "
+                f"({self.bits_remaining} bits remain)"
+            )
+        shift = self._total_bits - self._pos - width
+        mask = (1 << width) - 1
+        self._pos += width
+        return (self._value >> shift) & mask
+
+    def read_bit(self) -> int:
+        """Read a single bit."""
+        return self._take(1)
+
+    def read_uint(self, width: int) -> int:
+        """Read an unsigned integer of exactly ``width`` bits."""
+        return self._take(width)
+
+    def read_varint(self) -> int:
+        """Read an unsigned LEB128 varint."""
+        value = 0
+        shift = 0
+        while True:
+            group = self._take(8)
+            value |= (group & 0x7F) << shift
+            if not group & 0x80:
+                return value
+            shift += 7
+            if shift > 1024:
+                raise SerializationError("varint exceeds 1024 bits; corrupt stream")
+
+    def read_svarint(self) -> int:
+        """Read a zigzag-encoded signed varint."""
+        return zigzag_decode(self.read_varint())
+
+    def read_bytes(self) -> bytes:
+        """Read a length-prefixed byte string."""
+        length = self.read_varint()
+        if 8 * length > self.bits_remaining:
+            raise SerializationError(
+                f"byte string of length {length} overruns message"
+            )
+        return bytes(self._take(8) for _ in range(length))
+
+    def expect_end(self, *, allow_padding: bool = True) -> None:
+        """Assert the stream is exhausted (up to sub-byte zero padding)."""
+        if not allow_padding:
+            if self.bits_remaining:
+                raise SerializationError(
+                    f"{self.bits_remaining} unread bits at end of message"
+                )
+            return
+        if self.bits_remaining >= 8:
+            raise SerializationError(
+                f"{self.bits_remaining} unread bits at end of message"
+            )
+        while self.bits_remaining:
+            if self.read_bit():
+                raise SerializationError("nonzero padding at end of message")

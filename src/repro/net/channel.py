@@ -1,0 +1,101 @@
+"""A simulated two-party channel with exact bit accounting.
+
+Reconciliation protocols run between *Alice* and *Bob*.  The channel records
+every message (direction, payload, label) so that benchmarks report measured
+communication rather than analytic estimates, and tests can assert on round
+counts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ChannelError
+
+
+class Direction(enum.Enum):
+    """Which party sent a message."""
+
+    ALICE_TO_BOB = "A->B"
+    BOB_TO_ALICE = "B->A"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message on the channel.
+
+    Attributes
+    ----------
+    direction:
+        Who sent it.
+    payload:
+        The exact bytes shipped.
+    label:
+        Human-readable tag used in transcripts (e.g. ``"hierarchy-sketch"``).
+    """
+
+    direction: Direction
+    payload: bytes
+    label: str = ""
+
+    @property
+    def bits(self) -> int:
+        """Size of the payload in bits."""
+        return 8 * len(self.payload)
+
+
+@dataclass
+class SimulatedChannel:
+    """Records the messages of one protocol execution.
+
+    The channel is deliberately dumb: it neither reorders nor corrupts.
+    Failure injection is done by tests mutating payloads before ``deliver``.
+    """
+
+    messages: list[Message] = field(default_factory=list)
+    closed: bool = False
+
+    def send(self, direction: Direction, payload: bytes, label: str = "") -> bytes:
+        """Record a message and return the payload (as the receiver sees it)."""
+        if self.closed:
+            raise ChannelError("cannot send on a closed channel")
+        if not isinstance(payload, (bytes, bytearray)):
+            raise ChannelError(
+                f"payload must be bytes, got {type(payload).__name__}"
+            )
+        message = Message(direction, bytes(payload), label)
+        self.messages.append(message)
+        return message.payload
+
+    def close(self) -> None:
+        """Mark the protocol as finished; further sends are an error."""
+        self.closed = True
+
+    @property
+    def total_bits(self) -> int:
+        """Total bits shipped in both directions."""
+        return sum(message.bits for message in self.messages)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes shipped in both directions."""
+        return sum(len(message.payload) for message in self.messages)
+
+    @property
+    def rounds(self) -> int:
+        """Number of direction changes plus one (= number of messages when
+        parties strictly alternate; consecutive same-direction messages are
+        counted as a single round, matching the communication-complexity
+        convention used by the paper)."""
+        rounds = 0
+        previous = None
+        for message in self.messages:
+            if message.direction is not previous:
+                rounds += 1
+                previous = message.direction
+        return rounds
+
+    def bits_from(self, direction: Direction) -> int:
+        """Total bits sent in one direction."""
+        return sum(m.bits for m in self.messages if m.direction is direction)

@@ -1,0 +1,46 @@
+"""Human- and machine-readable summaries of a protocol execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.channel import Direction, SimulatedChannel
+
+
+@dataclass(frozen=True)
+class Transcript:
+    """Immutable summary of one reconciliation run.
+
+    Built from a :class:`~repro.net.channel.SimulatedChannel` after the
+    protocol finishes; this is what benchmark harnesses aggregate.
+    """
+
+    total_bits: int
+    alice_to_bob_bits: int
+    bob_to_alice_bits: int
+    rounds: int
+    message_labels: tuple[str, ...]
+
+    @classmethod
+    def from_channel(cls, channel: SimulatedChannel) -> "Transcript":
+        """Summarise a finished channel."""
+        return cls(
+            total_bits=channel.total_bits,
+            alice_to_bob_bits=channel.bits_from(Direction.ALICE_TO_BOB),
+            bob_to_alice_bits=channel.bits_from(Direction.BOB_TO_ALICE),
+            rounds=channel.rounds,
+            message_labels=tuple(m.label for m in channel.messages),
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        """Total communication in bytes (rounded up per message already)."""
+        return self.total_bits // 8
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.total_bits} bits over {self.rounds} round(s) "
+            f"(A->B {self.alice_to_bob_bits}, B->A {self.bob_to_alice_bits}; "
+            f"messages: {', '.join(self.message_labels) or 'none'})"
+        )

@@ -1,0 +1,40 @@
+"""Workload generators for the evaluation harness.
+
+The paper's testbed datasets are not available offline, so each generator is
+a synthetic stand-in engineered to exercise the same regime (the
+substitution is documented per experiment in ``EXPERIMENTS.md``):
+
+* :func:`~repro.workloads.synthetic.perturbed_pair` — the canonical robust
+  reconciliation instance: a shared base set, coordinate noise on Bob's
+  copies, ``k`` genuinely different points per side.
+* :func:`~repro.workloads.synthetic.clustered_pair` — Gaussian-mixture
+  spatial clusters (database/geo-style skew).
+* :func:`~repro.workloads.sensors.sensor_pair` — two sensors observing the
+  same objects with calibration noise plus missed/ghost detections.
+* :func:`~repro.workloads.geo.geo_pair` — power-law city-like clusters in
+  2-D with GPS-scale jitter.
+* :func:`~repro.workloads.adversarial.boundary_pair` — points sitting on
+  deterministic grid boundaries (defeats unshifted quantisation).
+"""
+
+from repro.workloads.adversarial import boundary_pair
+from repro.workloads.base import WorkloadPair
+from repro.workloads.geo import geo_pair
+from repro.workloads.sensors import sensor_pair
+from repro.workloads.synthetic import (
+    clustered_pair,
+    clustered_points,
+    perturbed_pair,
+    uniform_points,
+)
+
+__all__ = [
+    "WorkloadPair",
+    "boundary_pair",
+    "clustered_pair",
+    "clustered_points",
+    "geo_pair",
+    "perturbed_pair",
+    "sensor_pair",
+    "uniform_points",
+]

@@ -1,0 +1,65 @@
+"""Adversarial workload: noise straddling deterministic grid boundaries.
+
+Every point sits exactly on a multiple of the target cell width, and the
+noise is ±1.  Under an *unshifted* grid each noisy pair falls into
+different cells with probability ~1/2 per coordinate — so a single-scale,
+deterministic quantiser sees ~n differences no matter how small the noise.
+A randomly shifted grid splits each pair with probability only
+``noise / cell_side``, which is the property the paper's analysis uses.
+This is the workload behind the random-shift ablation (A1).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigError
+from repro.workloads.base import WorkloadPair, clamp
+from repro.workloads.synthetic import uniform_points
+
+
+def boundary_pair(
+    seed: int,
+    n: int,
+    delta: int,
+    dimension: int,
+    true_k: int,
+    cell_width: int,
+) -> WorkloadPair:
+    """Points on multiples of ``cell_width`` with ±1 jitter on Bob's side.
+
+    ``cell_width`` must be a power of two ≥ 2 (a grid level's cell side).
+    """
+    if cell_width < 2 or cell_width & (cell_width - 1):
+        raise ConfigError(
+            f"cell_width must be a power of two >= 2, got {cell_width}"
+        )
+    if cell_width >= delta:
+        raise ConfigError("cell_width must be smaller than delta")
+    rng = random.Random(seed)
+    boundaries = delta // cell_width
+
+    def boundary_point():
+        return tuple(
+            clamp(rng.randrange(1, boundaries) * cell_width, delta)
+            for _ in range(dimension)
+        )
+
+    shared = [boundary_point() for _ in range(n)]
+    alice = list(shared)
+    bob = [
+        tuple(clamp(c + rng.choice((-1, 0, 1)), delta) for c in point)
+        for point in shared
+    ]
+    alice.extend(uniform_points(rng, true_k, delta, dimension))
+    bob.extend(uniform_points(rng, true_k, delta, dimension))
+    return WorkloadPair(
+        name="boundary",
+        alice=alice,
+        bob=bob,
+        delta=delta,
+        dimension=dimension,
+        true_k=true_k,
+        noise=1.0,
+        params={"cell_width": cell_width, "seed": seed},
+    )

@@ -1,0 +1,72 @@
+"""Common shape of every generated workload."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.emd.metrics import Point
+from repro.errors import ConfigError
+
+
+def clamp(value: int, delta: int) -> int:
+    """Clamp a coordinate back onto the grid ``[0, delta)``."""
+    return max(0, min(delta - 1, value))
+
+
+@dataclass
+class WorkloadPair:
+    """One reconciliation instance plus its ground truth.
+
+    Attributes
+    ----------
+    name:
+        Generator tag (used in benchmark tables).
+    alice, bob:
+        The two point multisets.
+    delta, dimension:
+        Universe geometry.
+    true_k:
+        Number of genuinely different points per side (the workload's
+        ground-truth budget; the protocol's ``k`` should be ≥ this).
+    noise:
+        Magnitude of the coordinate noise applied to matched pairs.
+    params:
+        Any further generator-specific parameters (recorded for tables).
+    """
+
+    name: str
+    alice: list[Point]
+    bob: list[Point]
+    delta: int
+    dimension: int
+    true_k: int
+    noise: float
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.delta < 2:
+            raise ConfigError(f"delta must be >= 2, got {self.delta}")
+        for label, points in (("alice", self.alice), ("bob", self.bob)):
+            for point in points:
+                if len(point) != self.dimension:
+                    raise ConfigError(
+                        f"{label} point {point} has wrong dimension"
+                    )
+                for coordinate in point:
+                    if not 0 <= coordinate < self.delta:
+                        raise ConfigError(
+                            f"{label} coordinate {coordinate} outside grid"
+                        )
+
+    @property
+    def n(self) -> int:
+        """Size of Alice's set (== Bob's for all built-in generators)."""
+        return len(self.alice)
+
+    def describe(self) -> str:
+        """One-line summary for benchmark logs."""
+        return (
+            f"{self.name}: n={len(self.alice)}/{len(self.bob)}, "
+            f"delta={self.delta}, d={self.dimension}, "
+            f"true_k={self.true_k}, noise={self.noise}"
+        )

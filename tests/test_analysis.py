@@ -1,0 +1,108 @@
+"""Unit tests for the analysis/harness helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.methods import MethodRun, default_methods, measure_emd
+from repro.analysis.stats import geometric_mean, mean_ci, summarize
+from repro.analysis.tables import Table
+from repro.errors import ConfigError
+from repro.workloads.synthetic import perturbed_pair
+
+
+class TestStats:
+    def test_single_value(self):
+        summary = summarize([5.0])
+        assert summary.mean == 5.0
+        assert summary.ci95 == 0.0
+        assert summary.n == 1
+
+    def test_mean_and_ci(self):
+        mean, ci = mean_ci([1.0, 2.0, 3.0])
+        assert mean == 2.0
+        assert ci > 0
+
+    def test_min_max(self):
+        summary = summarize([3.0, 1.0, 2.0])
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+
+    def test_format(self):
+        assert "±" in summarize([1.0, 2.0]).format()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            summarize([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ConfigError):
+            geometric_mean([1.0, -1.0])
+        with pytest.raises(ConfigError):
+            geometric_mean([])
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(["method", "bits"], title="demo")
+        table.add_row(["robust", 123456])
+        table.add_row(["cpi", 9])
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert all("|" in line for line in lines[2:])
+
+    def test_float_formatting(self):
+        table = Table(["x"])
+        table.add_row([3.14159])
+        assert "3.1" in table.render()
+
+    def test_row_width_checked(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ConfigError):
+            table.add_row([1])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ConfigError):
+            Table([])
+
+
+class TestMethodRegistry:
+    def test_all_methods_present_small_universe(self):
+        workload = perturbed_pair(0, 30, 2**10, 2, true_k=2, noise=1)
+        methods = default_methods(workload, k=4, seed=1)
+        assert set(methods) == {
+            "robust", "robust-adaptive", "exact-ibf",
+            "fixed-grid", "full-transfer", "cpi",
+        }
+
+    def test_cpi_excluded_for_wide_universe(self):
+        workload = perturbed_pair(1, 10, 2**16, 4, true_k=1, noise=0)
+        methods = default_methods(workload, k=2, seed=1)
+        assert "cpi" not in methods
+
+    def test_run_produces_comparable_results(self):
+        workload = perturbed_pair(2, 60, 2**12, 2, true_k=2, noise=1)
+        methods = default_methods(workload, k=4, seed=2)
+        run = methods["full-transfer"]()
+        assert not run.failed
+        assert run.bits > 0
+        assert run.emd_to(workload) == 0.0
+
+    def test_failed_run_has_nan_emd(self):
+        workload = perturbed_pair(3, 10, 2**10, 2, true_k=1, noise=0)
+        run = MethodRun("x", 0, 0, None, failed=True, failure="boom")
+        assert math.isnan(run.emd_to(workload))
+
+    def test_measure_emd_size_mismatch_is_nan(self):
+        workload = perturbed_pair(4, 10, 2**10, 2, true_k=1, noise=0)
+        assert math.isnan(measure_emd(workload, workload.alice[:-1]))
+
+    def test_measure_emd_uses_1d_fast_path(self):
+        workload = perturbed_pair(5, 1000, 2**10, 1, true_k=0, noise=0)
+        assert measure_emd(workload, workload.alice) == 0.0
+
+    def test_measure_emd_estimator_large_sets(self):
+        workload = perturbed_pair(6, 700, 2**10, 2, true_k=0, noise=0)
+        assert measure_emd(workload, workload.alice) == 0.0

@@ -1,0 +1,73 @@
+"""Tests for the harness's failure handling and EMD-oracle selection."""
+
+import math
+
+from repro.analysis.methods import (
+    EXACT_EMD_LIMIT,
+    MethodRun,
+    default_methods,
+    measure_emd,
+    run_method,
+)
+from repro.errors import ReconciliationFailure
+from repro.workloads.synthetic import perturbed_pair
+
+
+class TestRunMethod:
+    def test_success_passthrough(self):
+        run = MethodRun("x", 10, 1, [])
+        assert run_method(lambda: run, "x") is run
+
+    def test_library_failure_marked(self):
+        def boom():
+            raise ReconciliationFailure("sketch overflowed")
+
+        run = run_method(boom, "x")
+        assert run.failed
+        assert "overflowed" in run.failure
+        assert run.repaired is None
+
+    def test_foreign_exception_propagates(self):
+        """Bugs must not be silently converted into benchmark rows."""
+
+        def bug():
+            raise KeyError("logic error")
+
+        try:
+            run_method(bug, "x")
+        except KeyError:
+            return
+        raise AssertionError("foreign exception was swallowed")
+
+
+class TestEmdOracleSelection:
+    def test_exact_for_small_2d(self):
+        workload = perturbed_pair(0, 50, 2**10, 2, true_k=0, noise=0)
+        assert measure_emd(workload, list(workload.bob)) == 0.0
+
+    def test_estimator_kicks_in_above_limit(self):
+        n = EXACT_EMD_LIMIT + 50
+        workload = perturbed_pair(1, n, 2**10, 2, true_k=0, noise=0)
+        # Identical sets: whatever oracle is used must report ~0.
+        assert measure_emd(workload, list(workload.alice)) == 0.0
+
+    def test_1d_fast_path_at_any_size(self):
+        workload = perturbed_pair(2, 3000, 2**10, 1, true_k=0, noise=0)
+        assert measure_emd(workload, list(workload.alice)) == 0.0
+
+    def test_size_mismatch_is_nan(self):
+        workload = perturbed_pair(3, 20, 2**10, 2, true_k=0, noise=0)
+        assert math.isnan(measure_emd(workload, workload.alice[:-2]))
+
+
+class TestRegistryLaziness:
+    def test_thunks_do_no_work_until_called(self):
+        """Building the registry must be free (benchmarks build many)."""
+        workload = perturbed_pair(4, 2000, 2**20, 2, true_k=4, noise=3)
+        import time
+
+        start = time.perf_counter()
+        methods = default_methods(workload, k=8, seed=4)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 0.2
+        assert len(methods) >= 5

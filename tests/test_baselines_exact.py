@@ -1,0 +1,140 @@
+"""Unit tests for the exact reconciliation baselines (IBF and CPI)."""
+
+import random
+
+import pytest
+
+from repro.baselines.cpi import CPIReconciler
+from repro.baselines.exact_ibf import ExactIBF
+from repro.errors import ConfigError
+from repro.net.channel import SimulatedChannel
+from repro.workloads.synthetic import perturbed_pair, uniform_points
+
+
+def distinct_pair(seed, n, delta, dimension, diff):
+    """Two sets sharing n points, with `diff` unique points per side."""
+    rng = random.Random(seed)
+    pool = set()
+    while len(pool) < n + 2 * diff:
+        pool.add(tuple(rng.randrange(delta) for _ in range(dimension)))
+    pool = list(pool)
+    shared = pool[:n]
+    alice = shared + pool[n:n + diff]
+    bob = shared + pool[n + diff:n + 2 * diff]
+    return alice, bob
+
+
+class TestExactIBF:
+    def test_identical_sets(self):
+        alice, bob = distinct_pair(0, 100, 2**16, 2, 0)
+        result = ExactIBF(2**16, 2, seed=1).run(alice, list(alice))
+        assert sorted(result.repaired) == sorted(alice)
+
+    def test_small_difference_exact(self):
+        alice, bob = distinct_pair(1, 200, 2**16, 2, 5)
+        result = ExactIBF(2**16, 2, seed=1).run(alice, bob)
+        assert sorted(result.repaired) == sorted(alice)
+        assert result.info["difference"] == 10
+
+    def test_bits_scale_with_difference_not_n(self):
+        small_diff_bits = []
+        for n in (100, 400):
+            alice, bob = distinct_pair(2, n, 2**16, 2, 5)
+            small_diff_bits.append(
+                ExactIBF(2**16, 2, seed=2).run(alice, bob).total_bits
+            )
+        # Same difference, 4x the set size: bits should not grow 2x.
+        assert small_diff_bits[1] < small_diff_bits[0] * 2
+
+    def test_noise_blows_up_cost(self):
+        """The motivating failure: under noise the difference is Theta(n)."""
+        clean = perturbed_pair(3, 200, 2**16, 2, true_k=4, noise=0)
+        noisy = perturbed_pair(3, 200, 2**16, 2, true_k=4, noise=2)
+        clean_bits = ExactIBF(2**16, 2, seed=3).run(clean.alice, clean.bob).total_bits
+        noisy_bits = ExactIBF(2**16, 2, seed=3).run(noisy.alice, noisy.bob).total_bits
+        assert noisy_bits > 5 * clean_bits
+
+    def test_duplicate_points_rejected(self):
+        baseline = ExactIBF(2**10, 2, seed=4)
+        with pytest.raises(ConfigError):
+            baseline.run([(1, 1), (1, 1)], [(2, 2)])
+
+    def test_unequal_sizes_supported(self):
+        alice, bob = distinct_pair(5, 50, 2**12, 2, 0)
+        extra = [(9, 9), (10, 10), (11, 11)]
+        result = ExactIBF(2**12, 2, seed=5).run(alice + extra, bob)
+        assert sorted(result.repaired) == sorted(alice + extra)
+
+    def test_rounds_recorded(self):
+        alice, bob = distinct_pair(6, 50, 2**12, 2, 2)
+        channel = SimulatedChannel()
+        ExactIBF(2**12, 2, seed=6).run(alice, bob, channel=channel)
+        assert channel.rounds >= 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ExactIBF(1, 1)
+        with pytest.raises(ConfigError):
+            ExactIBF(16, 1, headroom=0.5)
+        with pytest.raises(ConfigError):
+            ExactIBF(16, 1, max_retries=-1)
+
+
+class TestCPI:
+    def test_identical_sets(self):
+        alice, _ = distinct_pair(7, 60, 2**12, 2, 0)
+        result = CPIReconciler(2**12, 2, seed=7).run(alice, list(alice))
+        assert sorted(result.repaired) == sorted(alice)
+
+    def test_small_difference_exact(self):
+        alice, bob = distinct_pair(8, 80, 2**12, 2, 4)
+        result = CPIReconciler(2**12, 2, seed=8).run(alice, bob)
+        assert sorted(result.repaired) == sorted(alice)
+        assert result.info["difference"] == 8
+
+    def test_one_sided_difference(self):
+        alice, bob = distinct_pair(9, 60, 2**12, 2, 0)
+        alice = alice + [(1, 2), (3, 4), (5, 6)]
+        result = CPIReconciler(2**12, 2, seed=9).run(alice, bob)
+        assert sorted(result.repaired) == sorted(alice)
+
+    def test_unequal_sizes(self):
+        alice, bob = distinct_pair(10, 40, 2**12, 2, 3)
+        bob = bob[:-2]  # Bob two short
+        result = CPIReconciler(2**12, 2, seed=10).run(alice, bob)
+        assert sorted(result.repaired) == sorted(alice)
+
+    def test_bits_near_optimal(self):
+        """CPI's selling point: ~61 bits per difference plus overhead."""
+        alice, bob = distinct_pair(11, 150, 2**12, 2, 6)
+        result = CPIReconciler(2**12, 2, seed=11).run(alice, bob)
+        evals_bits = result.transcript.alice_to_bob_bits
+        # 12 differences -> bound ~18 with headroom; each eval is 61 bits.
+        assert evals_bits < 61 * 50
+
+    def test_universe_restriction(self):
+        with pytest.raises(ConfigError):
+            CPIReconciler(2**16, 4)  # 64 packed bits > 60
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ConfigError):
+            CPIReconciler(2**10, 2).run([(1, 1), (1, 1)], [(2, 2)])
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CPIReconciler(16, 1, headroom=0.9)
+        with pytest.raises(ConfigError):
+            CPIReconciler(16, 1, verify_points=-1)
+
+    def test_larger_difference_with_retries(self):
+        alice, bob = distinct_pair(12, 100, 2**12, 2, 12)
+        result = CPIReconciler(2**12, 2, seed=12).run(alice, bob)
+        assert sorted(result.repaired) == sorted(alice)
+
+
+class TestCrossBaselineAgreement:
+    def test_ibf_and_cpi_agree(self):
+        alice, bob = distinct_pair(13, 120, 2**12, 2, 5)
+        ibf = ExactIBF(2**12, 2, seed=13).run(alice, bob)
+        cpi = CPIReconciler(2**12, 2, seed=13).run(alice, bob)
+        assert sorted(ibf.repaired) == sorted(cpi.repaired) == sorted(alice)

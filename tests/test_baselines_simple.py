@@ -1,0 +1,120 @@
+"""Unit tests for the full-transfer and fixed-grid baselines plus key packing."""
+
+import random
+
+import pytest
+
+from repro.baselines.base import (
+    coordinate_bits,
+    pack_point,
+    point_bits,
+    unpack_point,
+)
+from repro.baselines.fixed_grid import FixedGridQuantize
+from repro.baselines.full_transfer import FullTransfer
+from repro.emd.matching import emd
+from repro.errors import ConfigError
+from repro.workloads.synthetic import perturbed_pair
+
+
+class TestPointPacking:
+    def test_roundtrip(self):
+        rng = random.Random(0)
+        for _ in range(100):
+            point = (rng.randrange(1000), rng.randrange(1000), rng.randrange(1000))
+            key = pack_point(point, 1000, 3)
+            assert unpack_point(key, 1000, 3) == point
+
+    def test_distinct_points_distinct_keys(self):
+        keys = {
+            pack_point((x, y), 64, 2) for x in range(32) for y in range(32)
+        }
+        assert len(keys) == 1024
+
+    def test_width_accounting(self):
+        assert coordinate_bits(1024) == 10
+        assert coordinate_bits(1025) == 11
+        assert point_bits(1024, 3) == 30
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            pack_point((1, 2), 64, 3)
+        with pytest.raises(ConfigError):
+            pack_point((64,), 64, 1)
+        with pytest.raises(ConfigError):
+            unpack_point(1 << 80, 64, 2)
+        with pytest.raises(ConfigError):
+            coordinate_bits(1)
+
+    def test_unpack_rejects_out_of_grid_coordinate(self):
+        # delta=1000 -> 10 bits per coordinate, but 1023 is encodable.
+        with pytest.raises(ConfigError):
+            unpack_point(1023, 1000, 1)
+
+
+class TestFullTransfer:
+    def test_exact_result(self):
+        workload = perturbed_pair(1, 50, 1024, 2, true_k=4, noise=2)
+        result = FullTransfer(1024, 2).run(workload.alice, workload.bob)
+        assert sorted(result.repaired) == sorted(workload.alice)
+        assert emd(workload.alice, result.repaired) == 0.0
+
+    def test_bits_linear_in_n(self):
+        transfer = FullTransfer(1024, 2)
+        small = transfer.run([(1, 1)] , [(2, 2)]).total_bits
+        big_set = [(i, i) for i in range(100)]
+        big = transfer.run(big_set, [(2, 2)]).total_bits
+        assert big > 50 * small / 2
+
+    def test_single_round(self):
+        result = FullTransfer(64, 1).run([(1,)], [(2,)])
+        assert result.transcript.rounds == 1
+
+    def test_empty_set(self):
+        result = FullTransfer(64, 1).run([], [(2,)])
+        assert result.repaired == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FullTransfer(1, 1)
+
+
+class TestFixedGrid:
+    def test_clean_data_reconciles(self):
+        workload = perturbed_pair(2, 80, 4096, 2, true_k=4, noise=0)
+        baseline = FixedGridQuantize(4096, 2, level=4, seed=2)
+        result = baseline.run(workload.alice, workload.bob)
+        assert len(result.repaired) == len(workload.alice)
+        # With zero noise the only differences are the true-k points, and
+        # they come back as cell centres: EMD bounded by k * cell diameter.
+        achieved = emd(workload.alice, result.repaired)
+        assert achieved <= 8 * 2 * (2**4) * 2
+
+    def test_small_noise_bits_flat_in_n(self):
+        """Most noisy pairs stay inside their (coarse) cells, so the cost is
+        dominated by the fixed estimator, not by n."""
+        bits = []
+        for n in (80, 320):
+            workload = perturbed_pair(3, n, 4096, 2, true_k=2, noise=1)
+            coarse = FixedGridQuantize(4096, 2, level=6, seed=3)
+            bits.append(coarse.run(workload.alice, workload.bob).total_bits)
+        assert bits[1] < bits[0] * 2  # 4x the data, <2x the bits
+
+    def test_level_zero_equals_exact_semantics(self):
+        workload = perturbed_pair(4, 40, 1024, 2, true_k=2, noise=0)
+        baseline = FixedGridQuantize(1024, 2, level=0, seed=4)
+        result = baseline.run(workload.alice, workload.bob)
+        assert sorted(result.repaired) == sorted(workload.alice)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FixedGridQuantize(1024, 2, level=99)
+        with pytest.raises(ConfigError):
+            FixedGridQuantize(1024, 2, level=1, headroom=0.5)
+
+    def test_info_reports_level(self):
+        workload = perturbed_pair(5, 30, 1024, 2, true_k=1, noise=0)
+        result = FixedGridQuantize(1024, 2, level=3, seed=5).run(
+            workload.alice, workload.bob
+        )
+        assert result.info["level"] == 3

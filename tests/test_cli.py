@@ -1,0 +1,87 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def workload_path(tmp_path):
+    path = tmp_path / "workload.json"
+    exit_code = main([
+        "generate", str(path), "--kind", "uniform", "--n", "80",
+        "--delta", "4096", "--true-k", "3", "--noise", "2", "--seed", "4",
+    ])
+    assert exit_code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_valid_json(self, workload_path):
+        data = json.loads(workload_path.read_text())
+        assert data["delta"] == 4096
+        assert len(data["alice"]) == 83
+        assert len(data["bob"]) == 83
+
+    @pytest.mark.parametrize("kind", ["uniform", "clustered", "sensor", "geo"])
+    def test_all_kinds(self, tmp_path, kind):
+        path = tmp_path / f"{kind}.json"
+        args = ["generate", str(path), "--kind", kind, "--n", "40",
+                "--delta", "4096", "--seed", "1"]
+        assert main(args) == 0
+        data = json.loads(path.read_text())
+        assert data["alice"]
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        args = ["--kind", "uniform", "--n", "30", "--seed", "9"]
+        main(["generate", str(a)] + args)
+        main(["generate", str(b)] + args)
+        assert a.read_text() == b.read_text()
+
+
+class TestReconcile:
+    def test_one_round(self, workload_path, capsys):
+        assert main(["reconcile", str(workload_path), "--k", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "one-round" in out
+        assert "|S'_B|   : 83" in out
+
+    def test_adaptive(self, workload_path, capsys):
+        assert main([
+            "reconcile", str(workload_path), "--k", "8", "--adaptive",
+        ]) == 0
+        assert "adaptive 2-round" in capsys.readouterr().out
+
+    def test_output_file(self, workload_path, tmp_path):
+        out_path = tmp_path / "repaired.json"
+        assert main([
+            "reconcile", str(workload_path), "--k", "8",
+            "--output", str(out_path),
+        ]) == 0
+        repaired = json.loads(out_path.read_text())["repaired"]
+        assert len(repaired) == 83
+
+    def test_bad_workload_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"alice": []}))
+        assert main(["reconcile", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestEstimateAndInfo:
+    def test_estimate_prints_levels(self, workload_path, capsys):
+        assert main(["estimate", str(workload_path), "--k", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "est. difference" in out
+        assert len(out.strip().splitlines()) > 3
+
+    def test_info(self, capsys):
+        assert main([
+            "info", "--delta", "65536", "--dimension", "2", "--k", "16",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "one-round message" in out
+        assert "lower bound" in out

@@ -1,0 +1,101 @@
+"""Unit tests for the analytic bound formulas."""
+
+import random
+
+import pytest
+
+from repro.core.bounds import (
+    approximation_factor,
+    expected_split_pairs,
+    lower_bound_bits,
+    one_round_bits_estimate,
+    predicted_emd_bound,
+    target_level,
+    universe_bits,
+)
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import HierarchicalReconciler
+from repro.errors import ConfigError
+
+
+class TestUniverseAndLowerBound:
+    def test_universe_bits(self):
+        assert universe_bits(1024, 1) == 10
+        assert universe_bits(1024, 3) == 30
+        assert universe_bits(1000, 1) == 10  # rounds up
+
+    def test_lower_bound_linear_in_k(self):
+        assert lower_bound_bits(8, 1024, 2) == 8 * 20
+        assert lower_bound_bits(16, 1024, 2) == 2 * lower_bound_bits(8, 1024, 2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            universe_bits(1, 1)
+        with pytest.raises(ConfigError):
+            lower_bound_bits(0, 16, 1)
+
+
+class TestSplitAndTargetLevel:
+    def test_split_pairs_halve_per_level(self):
+        assert expected_split_pairs(100.0, 0) == 100.0
+        assert expected_split_pairs(100.0, 1) == 50.0
+        assert expected_split_pairs(100.0, 5) == pytest.approx(3.125)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            expected_split_pairs(-1.0, 0)
+        with pytest.raises(ConfigError):
+            expected_split_pairs(1.0, -1)
+
+    def test_target_level_scaling(self):
+        assert target_level(0.0, 4) == 0
+        assert target_level(4.0, 4) == 0
+        assert target_level(8.0, 4) == 1
+        assert target_level(4096.0, 4) == 10
+
+    def test_target_level_monotone_in_emd(self):
+        levels = [target_level(float(2**i), 4) for i in range(1, 14)]
+        assert levels == sorted(levels)
+
+
+class TestPredictedBound:
+    def test_zero_emd_zero_bound(self):
+        assert predicted_emd_bound(0.0, 4, 2) == 0.0
+
+    def test_bound_grows_linearly_in_dimension(self):
+        low = approximation_factor(1)
+        high = approximation_factor(8)
+        assert high / low > 4  # linear growth dominates the +1
+
+    def test_bound_dominates_emd_k(self):
+        assert predicted_emd_bound(100.0, 4, 2) >= 100.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            predicted_emd_bound(1.0, 4, 0)
+        with pytest.raises(ConfigError):
+            approximation_factor(0)
+
+
+class TestCommunicationEstimate:
+    def test_estimate_tracks_measured_payload(self):
+        """The analytic formula should be within ~25% of the real sketch."""
+        config = ProtocolConfig(delta=4096, dimension=2, k=4, seed=3)
+        reconciler = HierarchicalReconciler(config)
+        rng = random.Random(3)
+        points = [(rng.randrange(4096), rng.randrange(4096)) for _ in range(200)]
+        measured = 8 * len(reconciler.encode(points))
+        predicted = one_round_bits_estimate(config)
+        assert predicted == pytest.approx(measured, rel=0.25)
+
+    def test_estimate_scales_with_levels(self):
+        full = one_round_bits_estimate(ProtocolConfig(delta=2**16, dimension=1, k=4))
+        short = one_round_bits_estimate(ProtocolConfig(delta=2**8, dimension=1, k=4))
+        assert full > short * 1.5
+
+    def test_estimate_above_lower_bound(self):
+        """The one-round protocol pays a log-delta factor over the bound."""
+        config = ProtocolConfig(delta=2**16, dimension=2, k=8)
+        upper = one_round_bits_estimate(config)
+        lower = lower_bound_bits(config.k, config.delta, config.dimension)
+        assert upper > lower

@@ -1,0 +1,109 @@
+"""Unit tests for broadcast reconciliation."""
+
+import random
+
+from repro.core.broadcast import broadcast_reconcile
+from repro.core.config import ProtocolConfig
+from repro.emd.matching import emd
+from repro.workloads.synthetic import perturbed_pair
+
+
+def drifted_replicas(seed, n, delta, count, noise_levels):
+    """One coordinator set + replicas at increasing drift."""
+    rng = random.Random(seed)
+    coordinator = [
+        (rng.randrange(delta), rng.randrange(delta)) for _ in range(n)
+    ]
+    replicas = []
+    for noise in noise_levels[:count]:
+        replica = [
+            tuple(
+                max(0, min(delta - 1, c + rng.randint(-noise, noise)))
+                for c in point
+            )
+            for point in coordinator
+        ]
+        replicas.append(replica)
+    return coordinator, replicas
+
+
+class TestBroadcast:
+    def test_all_replicas_repaired(self):
+        coordinator, replicas = drifted_replicas(0, 150, 4096, 3, (1, 4, 16))
+        config = ProtocolConfig(delta=4096, dimension=2, k=6, seed=0)
+        report = broadcast_reconcile(coordinator, replicas, config)
+        assert report.failures == []
+        for result in report.results:
+            assert result is not None
+            assert len(result.repaired) == len(coordinator)
+
+    def test_single_encode_shared(self):
+        coordinator, replicas = drifted_replicas(1, 100, 4096, 4, (1, 2, 4, 8))
+        config = ProtocolConfig(delta=4096, dimension=2, k=4, seed=1)
+        report = broadcast_reconcile(coordinator, replicas, config)
+        assert report.unicast_bits == 4 * report.broadcast_bits
+
+    def test_drifted_replicas_decode_coarser(self):
+        coordinator, replicas = drifted_replicas(2, 200, 2**16, 2, (1, 64))
+        config = ProtocolConfig(delta=2**16, dimension=2, k=6, seed=2)
+        report = broadcast_reconcile(coordinator, replicas, config)
+        close, far = report.results
+        assert close.level < far.level
+
+    def test_repair_within_guarantee_for_each_replica(self):
+        """Repair is not guaranteed to *improve* an already-close replica
+        (centre snapping can exceed tiny noise); it is guaranteed to stay
+        within the O(d) factor of the EMD_k floor."""
+        from repro.core.bounds import predicted_emd_bound
+        from repro.emd.partial import emd_k
+
+        coordinator, replicas = drifted_replicas(3, 120, 2**14, 3, (2, 8, 32))
+        config = ProtocolConfig(delta=2**14, dimension=2, k=6, seed=3)
+        report = broadcast_reconcile(coordinator, replicas, config)
+        for replica, result in zip(replicas, report.results):
+            after = emd(coordinator, result.repaired, backend="scipy")
+            floor = emd_k(coordinator, replica, config.k, backend="scipy")
+            bound = predicted_emd_bound(
+                max(floor, 1.0), config.k, 2, config.diff_margin
+            )
+            assert after <= bound
+
+    def test_identical_replica_untouched(self):
+        coordinator, _ = drifted_replicas(4, 80, 4096, 1, (0,))
+        config = ProtocolConfig(delta=4096, dimension=2, k=2, seed=4)
+        report = broadcast_reconcile(coordinator, [list(coordinator)], config)
+        result = report.results[0]
+        assert result.level == 0
+        assert sorted(result.repaired) == sorted(coordinator)
+
+    def test_hopeless_replica_marked_failed(self):
+        rng = random.Random(5)
+        coordinator = [(rng.randrange(2**16), rng.randrange(2**16))
+                       for _ in range(300)]
+        unrelated = [(rng.randrange(2**16), rng.randrange(2**16))
+                     for _ in range(300)]
+        config = ProtocolConfig(
+            delta=2**16, dimension=2, k=1, seed=5, diff_margin=1.0,
+            levels=tuple(range(4)),
+        )
+        report = broadcast_reconcile(coordinator, [unrelated], config)
+        assert report.failures == [0]
+        assert report.results[0] is None
+        assert "1 failed" in report.summary()
+
+    def test_mixed_outcome_summary(self):
+        coordinator, replicas = drifted_replicas(6, 100, 4096, 2, (1, 2))
+        config = ProtocolConfig(delta=4096, dimension=2, k=4, seed=6)
+        report = broadcast_reconcile(coordinator, replicas, config)
+        text = report.summary()
+        assert "2 replicas" in text
+        assert "0 failed" in text
+
+    def test_workload_integration(self):
+        """Broadcast over the standard generator's alice/bob pair."""
+        workload = perturbed_pair(7, 120, 2**12, 2, true_k=3, noise=2)
+        config = ProtocolConfig(delta=2**12, dimension=2, k=8, seed=7)
+        report = broadcast_reconcile(
+            workload.alice, [workload.bob, list(workload.alice)], config
+        )
+        assert report.failures == []

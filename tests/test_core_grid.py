@@ -1,0 +1,233 @@
+"""Unit tests for the randomly shifted grid hierarchy."""
+
+import random
+
+import pytest
+
+from repro.core.grid import ShiftedGridHierarchy
+from repro.emd.metrics import distance
+from repro.errors import CapacityExceeded, ConfigError
+
+
+def make_grid(delta=1024, dimension=2, seed=7, occupancy_bits=20):
+    return ShiftedGridHierarchy(delta, dimension, seed, occupancy_bits)
+
+
+class TestConstruction:
+    def test_max_level_covers_grid(self):
+        grid = make_grid(delta=1000)
+        assert 2 ** grid.max_level >= 1000
+
+    def test_shift_within_range(self):
+        grid = make_grid()
+        assert len(grid.shift) == 2
+        for offset in grid.shift:
+            assert 0 <= offset < 2 ** grid.max_level
+
+    def test_deterministic_shift(self):
+        assert make_grid(seed=3).shift == make_grid(seed=3).shift
+
+    def test_seed_changes_shift(self):
+        assert make_grid(seed=1).shift != make_grid(seed=2).shift
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ShiftedGridHierarchy(1, 2)
+        with pytest.raises(ConfigError):
+            ShiftedGridHierarchy(16, 0)
+        with pytest.raises(ConfigError):
+            ShiftedGridHierarchy(16, 2, occupancy_bits=0)
+
+
+class TestCells:
+    def test_level_zero_cells_are_points(self):
+        grid = make_grid()
+        a = grid.cell((5, 9), 0)
+        b = grid.cell((5, 10), 0)
+        assert a != b
+
+    def test_cell_nesting(self):
+        """A point's level-ℓ cell determines its level-(ℓ+1) cell by halving."""
+        grid = make_grid()
+        rng = random.Random(0)
+        for _ in range(50):
+            point = (rng.randrange(1024), rng.randrange(1024))
+            for level in range(grid.max_level):
+                fine = grid.cell(point, level)
+                coarse = grid.cell(point, level + 1)
+                assert tuple(c >> 1 for c in fine) == coarse
+
+    def test_same_cell_implies_close(self):
+        grid = make_grid()
+        rng = random.Random(1)
+        for level in (2, 5, 8):
+            for _ in range(30):
+                p = (rng.randrange(1024), rng.randrange(1024))
+                q = (rng.randrange(1024), rng.randrange(1024))
+                if grid.cell(p, level) == grid.cell(q, level):
+                    assert distance(p, q, "l1") <= grid.cell_diameter(level)
+
+    def test_out_of_range_point_rejected(self):
+        grid = make_grid()
+        with pytest.raises(ConfigError):
+            grid.cell((1024, 0), 3)
+        with pytest.raises(ConfigError):
+            grid.cell((-1, 0), 3)
+
+    def test_wrong_dimension_rejected(self):
+        with pytest.raises(ConfigError):
+            make_grid().cell((1, 2, 3), 0)
+
+    def test_bad_level_rejected(self):
+        grid = make_grid()
+        with pytest.raises(ConfigError):
+            grid.cell((0, 0), grid.max_level + 1)
+        with pytest.raises(ConfigError):
+            grid.cell((0, 0), -1)
+
+    def test_split_probability_bound(self):
+        """Empirical split rate at distance t is ≲ t / 2^level (ℓ1 fact)."""
+        delta = 2**14
+        level = 7
+        t = 16
+        splits = 0
+        trials = 400
+        for seed in range(trials):
+            grid = ShiftedGridHierarchy(delta, 1, seed)
+            if grid.cell((5000,), level) != grid.cell((5000 + t,), level):
+                splits += 1
+        bound = t / 2**level  # = 0.125
+        assert splits / trials <= bound * 1.6  # generous sampling slack
+
+
+class TestCenters:
+    def test_level_zero_center_is_exact(self):
+        grid = make_grid()
+        rng = random.Random(2)
+        for _ in range(50):
+            point = (rng.randrange(1024), rng.randrange(1024))
+            assert grid.center(grid.cell(point, 0), 0) == point
+
+    def test_center_within_half_diameter(self):
+        grid = make_grid()
+        rng = random.Random(3)
+        for level in (1, 4, 7):
+            for _ in range(30):
+                point = (rng.randrange(1024), rng.randrange(1024))
+                centre = grid.center(grid.cell(point, level), level)
+                assert distance(point, centre, "l1") <= grid.cell_diameter(level)
+
+    def test_center_clamped_to_grid(self):
+        grid = make_grid()
+        for level in range(grid.max_level + 1):
+            centre = grid.center(grid.cell((0, 0), level), level)
+            for coordinate in centre:
+                assert 0 <= coordinate < 1024
+
+    def test_center_dimension_checked(self):
+        with pytest.raises(ConfigError):
+            make_grid().center((1, 2, 3), 1)
+
+
+class TestKeyPacking:
+    def test_roundtrip(self):
+        grid = make_grid()
+        rng = random.Random(4)
+        for level in (0, 3, grid.max_level):
+            for _ in range(30):
+                point = (rng.randrange(1024), rng.randrange(1024))
+                cell = grid.cell(point, level)
+                occurrence = rng.randrange(1000)
+                key = grid.pack_key(cell, occurrence, level)
+                assert grid.unpack_key(key, level) == (cell, occurrence)
+
+    def test_key_fits_declared_width(self):
+        grid = make_grid()
+        for level in range(grid.max_level + 1):
+            cell = grid.cell((1023, 1023), level)
+            key = grid.pack_key(cell, (1 << 20) - 1, level)
+            assert key.bit_length() <= grid.key_bits(level)
+
+    def test_distinct_keys_for_distinct_cells(self):
+        grid = make_grid()
+        keys = set()
+        for x in range(0, 1024, 64):
+            for y in range(0, 1024, 64):
+                keys.add(grid.pack_key(grid.cell((x, y), 2), 0, 2))
+        assert len(keys) > 100  # essentially all distinct at level 2
+
+    def test_occurrence_overflow_raises(self):
+        grid = make_grid(occupancy_bits=4)
+        cell = grid.cell((0, 0), 1)
+        with pytest.raises(CapacityExceeded):
+            grid.pack_key(cell, 16, 1)
+
+    def test_unpack_validates_width(self):
+        grid = make_grid()
+        with pytest.raises(ConfigError):
+            grid.unpack_key(1 << 200, 0)
+
+
+class TestKeyStreams:
+    def test_one_key_per_point(self):
+        grid = make_grid()
+        rng = random.Random(5)
+        points = [(rng.randrange(1024), rng.randrange(1024)) for _ in range(100)]
+        for level in (0, 4, 9):
+            assert len(list(grid.keys_for(points, level))) == 100
+
+    def test_duplicate_points_get_distinct_keys(self):
+        grid = make_grid()
+        points = [(7, 7)] * 5
+        keys = list(grid.keys_for(points, 3))
+        assert len(set(keys)) == 5
+
+    def test_equal_multisets_give_equal_keys(self):
+        """The cancellation property: same points -> same keys, any order."""
+        grid = make_grid()
+        rng = random.Random(6)
+        points = [(rng.randrange(1024), rng.randrange(1024)) for _ in range(60)]
+        shuffled = list(points)
+        rng.shuffle(shuffled)
+        for level in (0, 5):
+            assert sorted(grid.keys_for(points, level)) == sorted(
+                grid.keys_for(shuffled, level)
+            )
+
+    def test_in_cell_noise_cancels(self):
+        """Two sets equal as cell multisets produce identical key sets even
+        when the actual points differ inside cells."""
+        grid = make_grid()
+        level = 6
+        alice = [(100, 100), (100, 120), (600, 600)]
+        bob = []
+        for point in alice:
+            cell = grid.cell(point, level)
+            centre = grid.center(cell, level)
+            # A different point in the same cell.
+            bob.append(centre)
+        for a, b in zip(alice, bob):
+            assert grid.cell(a, level) == grid.cell(b, level)
+        assert sorted(grid.keys_for(alice, level)) == sorted(
+            grid.keys_for(bob, level)
+        )
+
+    def test_bucket_points_sorted(self):
+        grid = make_grid()
+        points = [(5, 9), (5, 1), (5, 4)]
+        buckets = grid.bucket_points(points, grid.max_level)
+        for bucket in buckets.values():
+            assert bucket == sorted(bucket)
+
+
+class TestCellDiameter:
+    def test_metric_variants(self):
+        grid = make_grid(dimension=4)
+        assert grid.cell_diameter(3, "l1") == 8 * 4
+        assert grid.cell_diameter(3, "linf") == 8
+        assert grid.cell_diameter(3, "l2") == pytest.approx(8 * 2.0)
+
+    def test_monotone_in_level(self):
+        grid = make_grid()
+        diameters = [grid.cell_diameter(level) for level in range(grid.max_level)]
+        assert diameters == sorted(diameters)

@@ -1,0 +1,122 @@
+"""Unit tests for the incrementally maintained hierarchy sketch."""
+
+import random
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.incremental import IncrementalSketch
+from repro.core.protocol import HierarchicalReconciler
+from repro.errors import CapacityExceeded, ReconciliationFailure
+
+
+def config(delta=1024, dimension=2, k=4, seed=11, **kwargs):
+    return ProtocolConfig(delta=delta, dimension=dimension, k=k, seed=seed,
+                          **kwargs)
+
+
+def random_points(rng, n, delta=1024, dimension=2):
+    return [
+        tuple(rng.randrange(delta) for _ in range(dimension)) for _ in range(n)
+    ]
+
+
+class TestBitIdentity:
+    def test_matches_batch_encode(self):
+        """The defining property: incremental == from-scratch, bit for bit."""
+        cfg = config()
+        rng = random.Random(0)
+        points = random_points(rng, 120)
+        incremental = IncrementalSketch(cfg)
+        incremental.insert_all(points)
+        batch = HierarchicalReconciler(cfg).encode(points)
+        assert incremental.encode() == batch
+
+    def test_matches_after_churn(self):
+        """Insert everything, remove some, insert more: still identical to
+        encoding the surviving multiset."""
+        cfg = config()
+        rng = random.Random(1)
+        initial = random_points(rng, 80)
+        removed = initial[10:30]
+        added = random_points(rng, 25)
+        incremental = IncrementalSketch(cfg)
+        incremental.insert_all(initial)
+        for point in removed:
+            incremental.remove(point)
+        incremental.insert_all(added)
+        survivors = initial[:10] + initial[30:] + added
+        batch = HierarchicalReconciler(cfg).encode(survivors)
+        assert incremental.encode() == batch
+
+    def test_empty_matches_empty(self):
+        cfg = config()
+        assert IncrementalSketch(cfg).encode() == (
+            HierarchicalReconciler(cfg).encode([])
+        )
+
+    def test_duplicates_supported(self):
+        cfg = config()
+        incremental = IncrementalSketch(cfg)
+        for _ in range(5):
+            incremental.insert((7, 7))
+        incremental.remove((7, 7))
+        batch = HierarchicalReconciler(cfg).encode([(7, 7)] * 4)
+        assert incremental.encode() == batch
+
+
+class TestSemantics:
+    def test_n_points_tracked(self):
+        sketch = IncrementalSketch(config())
+        sketch.insert((1, 1))
+        sketch.insert((2, 2))
+        sketch.remove((1, 1))
+        assert sketch.n_points == 1
+
+    def test_remove_from_empty_cell_raises(self):
+        sketch = IncrementalSketch(config())
+        sketch.insert((1, 1))
+        with pytest.raises(ReconciliationFailure):
+            sketch.remove((900, 900))
+
+    def test_remove_is_atomic_on_failure(self):
+        """A failed remove must not partially update the levels."""
+        cfg = config()
+        sketch = IncrementalSketch(cfg)
+        sketch.insert((1, 1))
+        before = sketch.encode()
+        # (1023, 1023) may share coarse cells with (1,1)?  With the checked
+        # precondition the remove must fail before touching any table.
+        with pytest.raises(ReconciliationFailure):
+            sketch.remove((1023, 1023))
+        assert sketch.encode() == before
+
+    def test_occupancy_overflow(self):
+        cfg = config(occupancy_bits=2)
+        sketch = IncrementalSketch(cfg)
+        for _ in range(4):
+            sketch.insert((5, 5))
+        with pytest.raises(CapacityExceeded):
+            sketch.insert((5, 5))
+
+    def test_reconciles_against_live_peer(self):
+        """An incrementally maintained sketch drives a real reconciliation."""
+        cfg = config(delta=4096, k=6, seed=3)
+        rng = random.Random(3)
+        base = random_points(rng, 150, delta=4096)
+        alice_sketch = IncrementalSketch(cfg)
+        alice_sketch.insert_all(base)
+        alice_extra = random_points(rng, 3, delta=4096)
+        alice_sketch.insert_all(alice_extra)
+        bob_points = list(base) + random_points(rng, 3, delta=4096)
+
+        reconciler = HierarchicalReconciler(cfg)
+        result = reconciler.decode_and_repair(alice_sketch.encode(), bob_points)
+        assert len(result.repaired) == alice_sketch.n_points
+        assert sorted(result.repaired) == sorted(base + alice_extra)
+
+    def test_unshifted_variant(self):
+        cfg = config(random_shift=False)
+        sketch = IncrementalSketch(cfg)
+        sketch.insert((3, 3))
+        assert sketch.grid.shift == (0, 0)

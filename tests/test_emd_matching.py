@@ -1,0 +1,156 @@
+"""Unit tests for exact EMD (flow and scipy backends)."""
+
+import random
+
+import pytest
+
+from repro.emd.flow import MinCostFlow
+from repro.emd.matching import emd, min_cost_matching
+from repro.errors import ConfigError
+
+
+def random_points(rng, n, d, delta=1000):
+    return [tuple(rng.randrange(delta) for _ in range(d)) for _ in range(n)]
+
+
+class TestMinCostFlow:
+    def test_simple_path(self):
+        network = MinCostFlow(3)
+        network.add_arc(0, 1, 2.0, 1.0)
+        network.add_arc(1, 2, 2.0, 1.0)
+        flow, cost = network.solve(0, 2, 2.0)
+        assert flow == 2.0
+        assert cost == 4.0
+
+    def test_chooses_cheaper_route(self):
+        network = MinCostFlow(4)
+        network.add_arc(0, 1, 1.0, 10.0)
+        network.add_arc(0, 2, 1.0, 1.0)
+        network.add_arc(1, 3, 1.0, 0.0)
+        network.add_arc(2, 3, 1.0, 0.0)
+        flow, cost = network.solve(0, 3, 1.0)
+        assert flow == 1.0
+        assert cost == 1.0
+
+    def test_respects_capacity(self):
+        network = MinCostFlow(2)
+        network.add_arc(0, 1, 1.0, 1.0)
+        flow, _ = network.solve(0, 1, 5.0)
+        assert flow == 1.0
+
+    def test_validation(self):
+        network = MinCostFlow(2)
+        with pytest.raises(ConfigError):
+            network.add_arc(0, 5, 1.0, 1.0)
+        with pytest.raises(ConfigError):
+            network.add_arc(0, 1, -1.0, 1.0)
+        with pytest.raises(ConfigError):
+            network.add_arc(0, 1, 1.0, -1.0)
+        with pytest.raises(ConfigError):
+            network.solve(0, 0, 1.0)
+        with pytest.raises(ConfigError):
+            MinCostFlow(0)
+
+    def test_incremental_optimality(self):
+        """Flow of value f is optimal for every f along the augmentations."""
+        network = MinCostFlow(4)
+        network.add_arc(0, 1, 1.0, 1.0)
+        network.add_arc(0, 2, 1.0, 3.0)
+        network.add_arc(1, 3, 1.0, 0.0)
+        network.add_arc(2, 3, 1.0, 0.0)
+        _, cost_one = network.solve(0, 3, 1.0)
+        assert cost_one == 1.0
+        _, cost_more = network.solve(0, 3, 1.0)  # second unit on top
+        assert cost_more == 3.0
+
+
+class TestEmdBasics:
+    def test_empty_sets(self):
+        assert emd([], []) == 0.0
+
+    def test_identical_sets(self):
+        points = [(1, 2), (3, 4)]
+        assert emd(points, points) == 0.0
+
+    def test_single_pair(self):
+        assert emd([(0, 0)], [(3, 4)], "l1") == 7.0
+        assert emd([(0, 0)], [(3, 4)], "l2") == 5.0
+
+    def test_crossing_pairs_matched_optimally(self):
+        # Matching straight across costs 2; crossing costs 18.
+        xs = [(0,), (10,)]
+        ys = [(1,), (9,)]
+        assert emd(xs, ys) == 2.0
+
+    def test_unequal_sizes_rejected(self):
+        with pytest.raises(ConfigError):
+            emd([(1,)], [])
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            emd([(1,)], [(2,)], backend="gpu")
+
+    def test_permutation_invariance(self):
+        rng = random.Random(0)
+        xs = random_points(rng, 8, 2)
+        ys = random_points(rng, 8, 2)
+        shuffled = list(ys)
+        rng.shuffle(shuffled)
+        assert emd(xs, ys) == pytest.approx(emd(xs, shuffled))
+
+    def test_symmetry(self):
+        rng = random.Random(1)
+        xs = random_points(rng, 7, 3)
+        ys = random_points(rng, 7, 3)
+        assert emd(xs, ys) == pytest.approx(emd(ys, xs))
+
+
+class TestBackendAgreement:
+    @pytest.mark.parametrize("metric", ["l1", "l2", "linf"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_flow_matches_scipy(self, metric, seed):
+        rng = random.Random(seed)
+        xs = random_points(rng, 12, 2)
+        ys = random_points(rng, 12, 2)
+        assert emd(xs, ys, metric, backend="flow") == pytest.approx(
+            emd(xs, ys, metric, backend="scipy")
+        )
+
+    def test_auto_uses_both_regimes(self):
+        rng = random.Random(3)
+        small_x, small_y = random_points(rng, 5, 1), random_points(rng, 5, 1)
+        large_x, large_y = random_points(rng, 60, 1), random_points(rng, 60, 1)
+        assert emd(small_x, small_y) == pytest.approx(
+            emd(small_x, small_y, backend="scipy")
+        )
+        assert emd(large_x, large_y) == pytest.approx(
+            emd(large_x, large_y, backend="flow")
+        )
+
+
+class TestMatchingStructure:
+    def test_pairs_form_bijection(self):
+        rng = random.Random(4)
+        xs = random_points(rng, 10, 2)
+        ys = random_points(rng, 10, 2)
+        pairs, _ = min_cost_matching(xs, ys)
+        assert sorted(i for i, _ in pairs) == list(range(10))
+        assert sorted(j for _, j in pairs) == list(range(10))
+
+    def test_total_matches_pair_costs(self):
+        from repro.emd.metrics import distance
+
+        rng = random.Random(5)
+        xs = random_points(rng, 9, 3)
+        ys = random_points(rng, 9, 3)
+        pairs, total = min_cost_matching(xs, ys, "l1", backend="flow")
+        recomputed = sum(distance(xs[i], ys[j], "l1") for i, j in pairs)
+        assert total == pytest.approx(recomputed)
+
+    def test_triangle_inequality_through_midpoints(self):
+        """EMD obeys the triangle inequality (needed by the paper's proof)."""
+        rng = random.Random(6)
+        xs = random_points(rng, 8, 2)
+        ys = random_points(rng, 8, 2)
+        zs = random_points(rng, 8, 2)
+        assert emd(xs, zs) <= emd(xs, ys) + emd(ys, zs) + 1e-9

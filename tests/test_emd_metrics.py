@@ -1,0 +1,97 @@
+"""Unit tests for point metrics."""
+
+import numpy as np
+import pytest
+
+from repro.emd.metrics import (
+    SUPPORTED_METRICS,
+    diameter,
+    distance,
+    pairwise_costs,
+    validate_metric,
+    validate_points,
+)
+from repro.errors import ConfigError
+
+
+class TestDistance:
+    def test_l1(self):
+        assert distance((0, 0), (3, 4), "l1") == 7.0
+
+    def test_l2(self):
+        assert distance((0, 0), (3, 4), "l2") == 5.0
+
+    def test_linf(self):
+        assert distance((0, 0), (3, 4), "linf") == 4.0
+
+    def test_identity(self):
+        for metric in SUPPORTED_METRICS:
+            assert distance((5, 5, 5), (5, 5, 5), metric) == 0.0
+
+    def test_symmetry(self):
+        for metric in SUPPORTED_METRICS:
+            assert distance((1, 9), (4, 2), metric) == distance((4, 2), (1, 9), metric)
+
+    def test_one_dimension_all_metrics_agree(self):
+        for metric in SUPPORTED_METRICS:
+            assert distance((3,), (10,), metric) == 7.0
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ConfigError):
+            distance((1, 2), (1, 2, 3))
+
+    def test_unknown_metric(self):
+        with pytest.raises(ConfigError):
+            distance((1,), (2,), "cosine")
+
+
+class TestValidation:
+    def test_validate_metric_passthrough(self):
+        assert validate_metric("l1") == "l1"
+
+    def test_validate_points_mixed_dims(self):
+        with pytest.raises(ConfigError):
+            validate_points([(1, 2), (1, 2, 3)])
+
+    def test_validate_points_empty_ok(self):
+        validate_points([])
+
+
+class TestPairwiseCosts:
+    def test_matches_scalar_distance(self):
+        xs = [(0, 0), (2, 3), (9, 1)]
+        ys = [(1, 1), (5, 5)]
+        for metric in SUPPORTED_METRICS:
+            costs = pairwise_costs(xs, ys, metric)
+            assert costs.shape == (3, 2)
+            for i, x in enumerate(xs):
+                for j, y in enumerate(ys):
+                    assert costs[i, j] == pytest.approx(distance(x, y, metric))
+
+    def test_empty_inputs(self):
+        assert pairwise_costs([], [], "l1").shape == (0, 0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ConfigError):
+            pairwise_costs([(1, 2)], [(1, 2, 3)])
+
+    def test_returns_float_array(self):
+        costs = pairwise_costs([(0,)], [(7,)])
+        assert costs.dtype == np.float64
+
+
+class TestDiameter:
+    def test_l1_diameter(self):
+        assert diameter(11, 3, "l1") == 30.0
+
+    def test_linf_diameter(self):
+        assert diameter(11, 3, "linf") == 10.0
+
+    def test_l2_diameter(self):
+        assert diameter(11, 4, "l2") == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            diameter(0, 1)
+        with pytest.raises(ConfigError):
+            diameter(4, 0)

@@ -1,0 +1,154 @@
+"""Unit tests for EMD_k, the 1-D fast path, and the grid estimator."""
+
+import random
+
+import pytest
+
+from repro.emd.estimate import GridEmdEstimator
+from repro.emd.matching import emd
+from repro.emd.onedim import emd_1d
+from repro.emd.partial import emd_k
+from repro.errors import ConfigError
+
+
+def random_points(rng, n, d, delta=1000):
+    return [tuple(rng.randrange(delta) for _ in range(d)) for _ in range(n)]
+
+
+class TestEmdK:
+    def test_k_zero_equals_emd(self):
+        rng = random.Random(0)
+        xs = random_points(rng, 10, 2)
+        ys = random_points(rng, 10, 2)
+        assert emd_k(xs, ys, 0) == pytest.approx(emd(xs, ys))
+
+    def test_k_equals_n_is_zero(self):
+        rng = random.Random(1)
+        xs = random_points(rng, 5, 2)
+        ys = random_points(rng, 5, 2)
+        assert emd_k(xs, ys, 5) == 0.0
+        assert emd_k(xs, ys, 50) == 0.0
+
+    def test_monotone_in_k(self):
+        rng = random.Random(2)
+        xs = random_points(rng, 12, 2)
+        ys = random_points(rng, 12, 2)
+        values = [emd_k(xs, ys, k) for k in range(6)]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_outlier_forgiven(self):
+        # Identical sets except one far outlier on each side.
+        base = [(i, i) for i in range(10)]
+        xs = base + [(900, 900)]
+        ys = base + [(0, 900)]
+        assert emd_k(xs, ys, 1) == 0.0
+        assert emd_k(xs, ys, 0) == pytest.approx(900.0)
+
+    def test_backends_agree(self):
+        rng = random.Random(3)
+        xs = random_points(rng, 11, 2)
+        ys = random_points(rng, 11, 2)
+        for k in (1, 3, 5):
+            assert emd_k(xs, ys, k, backend="flow") == pytest.approx(
+                emd_k(xs, ys, k, backend="scipy")
+            )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            emd_k([(1,)], [], 1)
+        with pytest.raises(ConfigError):
+            emd_k([(1,)], [(2,)], -1)
+        with pytest.raises(ConfigError):
+            emd_k([(1,)], [(2,)], 1, backend="gpu")
+
+    def test_empty_sets(self):
+        assert emd_k([], [], 0) == 0.0
+
+    def test_brute_force_agreement(self):
+        """Cross-check against explicit enumeration of excluded subsets."""
+        from itertools import combinations
+
+        rng = random.Random(4)
+        xs = random_points(rng, 6, 1, delta=100)
+        ys = random_points(rng, 6, 1, delta=100)
+        k = 2
+        best = float("inf")
+        for keep_x in combinations(range(6), 6 - k):
+            for keep_y in combinations(range(6), 6 - k):
+                sub_x = [xs[i] for i in keep_x]
+                sub_y = [ys[j] for j in keep_y]
+                best = min(best, emd(sub_x, sub_y))
+        assert emd_k(xs, ys, k) == pytest.approx(best)
+
+
+class TestEmd1d:
+    def test_matches_general_emd(self):
+        rng = random.Random(5)
+        xs = random_points(rng, 20, 1)
+        ys = random_points(rng, 20, 1)
+        assert emd_1d(xs, ys) == pytest.approx(emd(xs, ys))
+
+    def test_accepts_bare_numbers(self):
+        assert emd_1d([0, 5], [1, 5]) == 1.0
+
+    def test_rejects_higher_dims(self):
+        with pytest.raises(ConfigError):
+            emd_1d([(1, 2)], [(3, 4)])
+
+    def test_rejects_unequal_sizes(self):
+        with pytest.raises(ConfigError):
+            emd_1d([1], [])
+
+    def test_sorted_pairing_is_optimal(self):
+        assert emd_1d([0, 100], [99, 1]) == 2.0
+
+
+class TestGridEstimator:
+    def test_identical_sets_estimate_zero(self):
+        rng = random.Random(6)
+        points = random_points(rng, 50, 2, delta=512)
+        estimator = GridEmdEstimator(512, 2, seed=1)
+        assert estimator.estimate(points, points) == 0.0
+
+    def test_estimate_tracks_exact_within_log_factor(self):
+        rng = random.Random(7)
+        delta = 1024
+        estimator = GridEmdEstimator(delta, 2, seed=2, shifts=5)
+        xs = random_points(rng, 30, 2, delta)
+        ys = [(x + rng.randrange(-3, 4), y + rng.randrange(-3, 4)) for x, y in xs]
+        ys = [(max(0, min(delta - 1, a)), max(0, min(delta - 1, b))) for a, b in ys]
+        exact = emd(xs, ys)
+        estimate = estimator.estimate(xs, ys)
+        # Pyramid estimators are O(d log delta) distorted; assert a loose sandwich.
+        assert estimate <= exact * 2 * 10 + 1e-9
+        assert estimate >= exact / 20 - 1e-9
+
+    def test_estimate_orders_small_vs_large_perturbations(self):
+        rng = random.Random(8)
+        delta = 1024
+        estimator = GridEmdEstimator(delta, 2, seed=3, shifts=5)
+        xs = random_points(rng, 40, 2, delta)
+
+        def perturb(points, magnitude):
+            return [
+                tuple(
+                    max(0, min(delta - 1, c + rng.randrange(-magnitude, magnitude + 1)))
+                    for c in p
+                )
+                for p in points
+            ]
+
+        small = estimator.estimate(xs, perturb(xs, 2))
+        large = estimator.estimate(xs, perturb(xs, 200))
+        assert large > small
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            GridEmdEstimator(1, 2)
+        with pytest.raises(ConfigError):
+            GridEmdEstimator(16, 0)
+        with pytest.raises(ConfigError):
+            GridEmdEstimator(16, 2, shifts=0)
+        estimator = GridEmdEstimator(16, 2)
+        with pytest.raises(ConfigError):
+            estimator.estimate([(1, 2, 3)], [(1, 2, 3)])

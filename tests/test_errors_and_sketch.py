@@ -1,0 +1,108 @@
+"""Unit tests for the error hierarchy and the sketch wire-format helpers."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.grid import ShiftedGridHierarchy
+from repro.core.sketch import HierarchySketch, LevelSketch, level_iblt_config
+from repro.errors import (
+    CapacityExceeded,
+    ChannelError,
+    ConfigError,
+    DecodeFailure,
+    ReconciliationFailure,
+    ReproError,
+    SerializationError,
+)
+from repro.iblt.table import IBLT
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc_type", [
+        ConfigError, SerializationError, DecodeFailure,
+        ReconciliationFailure, ChannelError, CapacityExceeded,
+    ])
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_config_error_is_value_error(self):
+        """Callers using stdlib idioms still catch config problems."""
+        assert issubclass(ConfigError, ValueError)
+
+    def test_decode_failure_carries_diagnostics(self):
+        failure = DecodeFailure("stalled", recovered=7, remaining=3)
+        assert failure.recovered == 7
+        assert failure.remaining == 3
+        assert "stalled" in str(failure)
+
+    def test_catching_base_catches_everything(self):
+        with pytest.raises(ReproError):
+            raise CapacityExceeded("full")
+
+
+class TestLevelConfigDerivation:
+    def setup_method(self):
+        self.config = ProtocolConfig(delta=1024, dimension=2, k=4, seed=5)
+        self.grid = ShiftedGridHierarchy(1024, 2, 5)
+
+    def test_levels_get_distinct_seeds(self):
+        seeds = {
+            level_iblt_config(self.config, self.grid, level).seed
+            for level in self.config.sketch_levels
+        }
+        assert len(seeds) == len(self.config.sketch_levels)
+
+    def test_key_bits_shrink_with_level(self):
+        widths = [
+            level_iblt_config(self.config, self.grid, level).key_bits
+            for level in self.config.sketch_levels
+        ]
+        assert widths == sorted(widths, reverse=True)
+
+    def test_cells_override(self):
+        config = level_iblt_config(self.config, self.grid, 3, cells=64)
+        assert config.cells == 64
+
+    def test_default_cells_from_protocol_config(self):
+        config = level_iblt_config(self.config, self.grid, 3)
+        assert config.cells == self.config.cells_per_level
+
+
+class TestHierarchySketchWire:
+    def setup_method(self):
+        self.config = ProtocolConfig(delta=256, dimension=1, k=2, seed=9)
+        self.grid = ShiftedGridHierarchy(256, 1, 9)
+
+    def build(self, levels):
+        sketches = [
+            LevelSketch(level, IBLT(level_iblt_config(self.config, self.grid, level)))
+            for level in levels
+        ]
+        return HierarchySketch(n_points=5, levels=sketches)
+
+    def test_roundtrip_subset_of_levels(self):
+        sketch = self.build([0, 4, 8])
+        restored = HierarchySketch.from_bytes(
+            sketch.to_bytes(), self.config, self.grid
+        )
+        assert [s.level for s in restored.levels] == [0, 4, 8]
+        assert restored.n_points == 5
+
+    def test_too_many_levels_rejected(self):
+        sketch = self.build(list(range(self.grid.max_level + 1)))
+        payload = bytearray(sketch.to_bytes())
+        # Patch the level-count varint (byte 2 after magic+version given
+        # n_points=5 < 128 occupies one byte).
+        payload[3] = 200
+        with pytest.raises(SerializationError):
+            HierarchySketch.from_bytes(bytes(payload), self.config, self.grid)
+
+    def test_cells_by_level_override(self):
+        small = LevelSketch(
+            2, IBLT(level_iblt_config(self.config, self.grid, 2, cells=16))
+        )
+        sketch = HierarchySketch(n_points=1, levels=[small])
+        restored = HierarchySketch.from_bytes(
+            sketch.to_bytes(), self.config, self.grid, cells_by_level={2: 16}
+        )
+        assert restored.levels[0].table.config.cells == 16

@@ -1,0 +1,55 @@
+"""Smoke tests: every shipped example must run clean and tell its story."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "approximation ratio" in out
+        assert "decoded at grid level" in out
+
+    def test_sensor_fusion(self):
+        out = run_example("sensor_fusion.py")
+        assert "robust vs exact-ibf communication" in out
+        assert "x smaller" in out
+
+    def test_geo_sync(self):
+        out = run_example("geo_sync.py")
+        assert "adaptive saves" in out
+
+    def test_noisy_measurements(self):
+        out = run_example("noisy_measurements.py")
+        assert "larger budgets decode finer levels" in out
+
+    def test_replica_fleet(self):
+        out = run_example("replica_fleet.py")
+        assert "bit-identical to a fresh encode" in out
+        assert "0 failed" in out
+
+    def test_every_example_has_a_test(self):
+        """Adding an example without a smoke test should fail loudly."""
+        shipped = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        covered = {
+            "quickstart.py", "sensor_fusion.py", "geo_sync.py",
+            "noisy_measurements.py", "replica_fleet.py",
+        }
+        assert shipped == covered

@@ -1,0 +1,184 @@
+"""Systematic failure injection across every wire format.
+
+Contract under test: **no corrupted or truncated message may ever produce a
+silently wrong answer or a non-library exception.**  Every mutation must
+yield either (a) a clean library error, or (b) a successful result that
+still satisfies the protocol's invariants (size balance, grid range).
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.cpi import CPIReconciler
+from repro.baselines.exact_ibf import ExactIBF
+from repro.baselines.full_transfer import FullTransfer
+from repro.core.adaptive import AdaptiveReconciler
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import HierarchicalReconciler
+from repro.errors import ReproError
+from repro.iblt.strata import StrataConfig, StrataEstimator
+from repro.iblt.table import IBLT, IBLTConfig
+from repro.workloads.synthetic import perturbed_pair
+
+DELTA = 4096
+
+
+def corruptions(payload: bytes, rng: random.Random, count: int = 8):
+    """Yield mutated variants of a payload: bit flips and truncations."""
+    data = bytearray(payload)
+    for _ in range(count):
+        mutated = bytearray(data)
+        position = rng.randrange(len(mutated))
+        mutated[position] ^= 1 << rng.randrange(8)
+        yield bytes(mutated)
+    for fraction in (0.0, 0.25, 0.5, 0.95):
+        yield payload[: int(len(payload) * fraction)]
+    yield payload + b"\x00\x01"
+
+
+def assert_graceful(fn, invariant=None):
+    """Run fn; allow library errors, forbid foreign exceptions."""
+    try:
+        result = fn()
+    except ReproError:
+        return
+    if invariant is not None:
+        invariant(result)
+
+
+class TestHierarchySketchCorruption:
+    def test_one_round_protocol(self):
+        workload = perturbed_pair(0, 60, DELTA, 2, true_k=2, noise=2)
+        config = ProtocolConfig(delta=DELTA, dimension=2, k=4, seed=0)
+        reconciler = HierarchicalReconciler(config)
+        payload = reconciler.encode(workload.alice)
+        rng = random.Random(0)
+        for mutated in corruptions(payload, rng):
+            assert_graceful(
+                lambda m=mutated: reconciler.decode_and_repair(m, workload.bob),
+                invariant=lambda res: _check_points(res.repaired),
+            )
+
+
+class TestAdaptiveCorruption:
+    def test_request_corruption(self):
+        workload = perturbed_pair(1, 60, DELTA, 2, true_k=2, noise=2)
+        config = ProtocolConfig(delta=DELTA, dimension=2, k=4, seed=1)
+        reconciler = AdaptiveReconciler(config)
+        request = reconciler.bob_request(workload.bob)
+        rng = random.Random(1)
+        for mutated in corruptions(request, rng, count=5):
+            assert_graceful(
+                lambda m=mutated: reconciler.alice_respond(m, workload.alice)
+            )
+
+    def test_response_corruption(self):
+        workload = perturbed_pair(2, 60, DELTA, 2, true_k=2, noise=2)
+        config = ProtocolConfig(delta=DELTA, dimension=2, k=4, seed=2)
+        reconciler = AdaptiveReconciler(config)
+        request = reconciler.bob_request(workload.bob)
+        response = reconciler.alice_respond(request, workload.alice)
+        rng = random.Random(2)
+        for mutated in corruptions(response, rng, count=5):
+            assert_graceful(
+                lambda m=mutated: reconciler.bob_finish(m, workload.bob),
+                invariant=lambda res: _check_points(res.repaired),
+            )
+
+
+class TestBaselinePayloadCorruption:
+    def test_full_transfer(self):
+        transfer = FullTransfer(DELTA, 2)
+        payload = transfer.encode([(1, 2), (3, 4), (100, 200)])
+        rng = random.Random(3)
+        for mutated in corruptions(payload, rng, count=5):
+            assert_graceful(
+                lambda m=mutated: transfer.decode(m),
+                invariant=lambda points: _check_points(points, strict=False),
+            )
+
+    def test_iblt_payload(self):
+        config = IBLTConfig(cells=32, q=4, seed=4)
+        table = IBLT(config)
+        table.insert_all(range(10))
+        payload = table.to_bytes()
+        rng = random.Random(4)
+        for mutated in corruptions(payload, rng, count=5):
+            assert_graceful(lambda m=mutated: IBLT.from_bytes(m, config))
+
+    def test_strata_payload(self):
+        config = StrataConfig(seed=5)
+        estimator = StrataEstimator(config)
+        estimator.insert_all(range(100))
+        payload = estimator.to_bytes()
+        rng = random.Random(5)
+        mine = StrataEstimator(config)
+        mine.insert_all(range(50))
+        for mutated in corruptions(payload, rng, count=5):
+            def attempt(m=mutated):
+                other = StrataEstimator.from_bytes(m, config)
+                # A bit-flipped estimator may parse; the estimate must then
+                # still be a sane non-negative integer.
+                estimate = mine.estimate_difference(other)
+                assert estimate >= 0
+            assert_graceful(attempt)
+
+
+class TestCrossProtocolTampering:
+    """Feed one protocol's message to another: must fail cleanly."""
+
+    def test_sketch_fed_to_adaptive(self):
+        workload = perturbed_pair(6, 40, DELTA, 2, true_k=2, noise=1)
+        config = ProtocolConfig(delta=DELTA, dimension=2, k=4, seed=6)
+        one_round = HierarchicalReconciler(config)
+        adaptive = AdaptiveReconciler(config)
+        payload = one_round.encode(workload.alice)
+        assert_graceful(lambda: adaptive.bob_finish(payload, workload.bob))
+        assert_graceful(lambda: adaptive.alice_respond(payload, workload.alice))
+
+    def test_adaptive_request_fed_to_one_round(self):
+        workload = perturbed_pair(7, 40, DELTA, 2, true_k=2, noise=1)
+        config = ProtocolConfig(delta=DELTA, dimension=2, k=4, seed=7)
+        adaptive = AdaptiveReconciler(config)
+        one_round = HierarchicalReconciler(config)
+        request = adaptive.bob_request(workload.bob)
+        assert_graceful(
+            lambda: one_round.decode_and_repair(request, workload.bob)
+        )
+
+
+class TestExactBaselineChannelFailures:
+    def test_ibf_with_zero_retries_can_fail_cleanly(self):
+        """An undersized headroom with retries disabled must raise a library
+        error, not loop or crash."""
+        workload = perturbed_pair(8, 400, 2**16, 2, true_k=2, noise=3)
+        baseline = ExactIBF(2**16, 2, seed=8, headroom=1.0, max_retries=0)
+        try:
+            result = baseline.run(workload.alice, workload.bob)
+        except ReproError:
+            return
+        assert sorted(result.repaired) == sorted(workload.alice)
+
+    def test_cpi_with_zero_retries_can_fail_cleanly(self):
+        rng = random.Random(9)
+        pool = list({(rng.randrange(DELTA), rng.randrange(DELTA))
+                     for _ in range(260)})
+        alice = pool[:220]
+        bob = pool[20:240]
+        baseline = CPIReconciler(DELTA, 2, seed=9, headroom=1.0,
+                                 max_retries=0, verify_points=2)
+        try:
+            result = baseline.run(alice, bob)
+        except ReproError:
+            return
+        assert sorted(result.repaired) == sorted(alice)
+
+
+def _check_points(points, strict: bool = True) -> None:
+    assert isinstance(points, list)
+    for point in points:
+        assert len(point) == 2
+        if strict:
+            for coordinate in point:
+                assert 0 <= coordinate < DELTA

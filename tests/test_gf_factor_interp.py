@@ -1,0 +1,171 @@
+"""Unit tests for root finding and rational interpolation over GF(p)."""
+
+import random
+
+import pytest
+
+from repro.errors import ReconciliationFailure
+from repro.gf.factor import (
+    NotSplitError,
+    is_split_with_distinct_roots,
+    roots_of_split_polynomial,
+)
+from repro.gf.field import MERSENNE61, PrimeField
+from repro.gf.interp import interpolate_rational
+from repro.gf.poly import Poly
+
+SMALL = PrimeField(10_007)
+BIG = PrimeField(MERSENNE61)
+
+
+class TestSplitCheck:
+    def test_split_polynomial_detected(self):
+        poly = Poly.from_roots(SMALL, [1, 2, 3, 500])
+        assert is_split_with_distinct_roots(poly)
+
+    def test_repeated_root_rejected(self):
+        poly = Poly.from_roots(SMALL, [4, 4])
+        assert not is_split_with_distinct_roots(poly)
+
+    def test_irreducible_quadratic_rejected(self):
+        # x^2 + 1 is irreducible mod p when p ≡ 3 (mod 4); 10007 % 4 == 3.
+        poly = Poly.make(SMALL, [1, 0, 1])
+        assert not is_split_with_distinct_roots(poly)
+
+    def test_constant_is_trivially_split(self):
+        assert is_split_with_distinct_roots(Poly.constant(SMALL, 5))
+
+    def test_zero_is_not_split(self):
+        assert not is_split_with_distinct_roots(Poly.zero(SMALL))
+
+
+class TestRootFinding:
+    def test_empty_product(self):
+        assert roots_of_split_polynomial(Poly.one(SMALL)) == []
+
+    def test_single_root(self):
+        assert roots_of_split_polynomial(Poly.from_roots(SMALL, [42])) == [42]
+
+    def test_many_roots_small_field(self):
+        roots = sorted(random.Random(1).sample(range(10_007), 25))
+        poly = Poly.from_roots(SMALL, roots)
+        assert roots_of_split_polynomial(poly) == roots
+
+    def test_many_roots_big_field(self):
+        rng = random.Random(2)
+        roots = sorted({rng.getrandbits(60) for _ in range(30)})
+        poly = Poly.from_roots(BIG, roots)
+        assert roots_of_split_polynomial(poly) == roots
+
+    def test_non_monic_input(self):
+        poly = Poly.from_roots(SMALL, [5, 6]).scale(17)
+        assert roots_of_split_polynomial(poly) == [5, 6]
+
+    def test_not_split_raises(self):
+        with pytest.raises(NotSplitError):
+            roots_of_split_polynomial(Poly.make(SMALL, [1, 0, 1]))
+
+    def test_zero_raises(self):
+        with pytest.raises(NotSplitError):
+            roots_of_split_polynomial(Poly.zero(SMALL))
+
+    def test_deterministic_default_rng(self):
+        poly = Poly.from_roots(SMALL, [9, 99, 999])
+        assert (
+            roots_of_split_polynomial(poly)
+            == roots_of_split_polynomial(poly)
+            == [9, 99, 999]
+        )
+
+
+def char_ratio_samples(field, alice, bob, points):
+    """Evaluate chi_A / chi_B at the given points."""
+    chi_a = Poly.from_roots(field, alice)
+    chi_b = Poly.from_roots(field, bob)
+    return [field.div(chi_a(z), chi_b(z)) for z in points]
+
+
+class TestRationalInterpolation:
+    def test_recovers_reduced_function(self):
+        field = SMALL
+        alice = [1, 2, 3, 10, 11]
+        bob = [1, 2, 3, 20]
+        d_bound = 3  # |A\B| + |B\A| = 2 + 1 = 3
+        points = [5000 + i for i in range(d_bound + 1)]
+        values = char_ratio_samples(field, alice, bob, points)
+        result = interpolate_rational(field, points, values, 2, 1)
+        assert sorted(roots_of_split_polynomial(result.numerator)) == [10, 11]
+        assert sorted(roots_of_split_polynomial(result.denominator)) == [20]
+
+    def test_overshooting_degrees_is_harmless(self):
+        field = SMALL
+        alice = [7, 8, 100]
+        bob = [7, 8, 200]
+        # True degrees are (1, 1) but we allocate (4, 4).
+        points = [3000 + i for i in range(9)]
+        values = char_ratio_samples(field, alice, bob, points)
+        result = interpolate_rational(field, points, values, 4, 4)
+        assert roots_of_split_polynomial(result.numerator) == [100]
+        assert roots_of_split_polynomial(result.denominator) == [200]
+
+    def test_identical_sets_give_constant_one(self):
+        field = SMALL
+        both = [5, 6, 7]
+        points = [4000 + i for i in range(5)]
+        values = char_ratio_samples(field, both, both, points)
+        result = interpolate_rational(field, points, values, 2, 2)
+        assert result.numerator == Poly.one(field)
+        assert result.denominator == Poly.one(field)
+
+    def test_undershooting_detected_with_verification_points(self):
+        """With only d_p + d_q + 1 samples any values interpolate, so a too-
+        small degree bound is invisible; extra verification samples make the
+        system over-determined and expose it."""
+        field = SMALL
+        alice = [1, 2, 3, 4, 5, 6]
+        bob: list[int] = []
+        points = [2000 + i for i in range(8)]  # 4 needed + 4 verification
+        values = char_ratio_samples(field, alice, bob, points)
+        with pytest.raises(ReconciliationFailure):
+            interpolate_rational(field, points, values, 2, 1)
+
+    def test_evaluate_rational(self):
+        field = SMALL
+        alice = [10]
+        bob = [20]
+        points = [3000, 3001, 3002]
+        values = char_ratio_samples(field, alice, bob, points)
+        result = interpolate_rational(field, points, values, 1, 1)
+        assert result(3000) == values[0]
+
+    def test_input_validation(self):
+        field = SMALL
+        with pytest.raises(ReconciliationFailure):
+            interpolate_rational(field, [1, 2], [1], 1, 1)
+        with pytest.raises(ReconciliationFailure):
+            interpolate_rational(field, [1, 1], [2, 2], 0, 0)
+        with pytest.raises(ReconciliationFailure):
+            interpolate_rational(field, [1], [2], 1, 1)
+
+    def test_big_field_end_to_end(self):
+        field = BIG
+        rng = random.Random(7)
+        shared = [rng.getrandbits(59) for _ in range(40)]
+        alice = shared + [rng.getrandbits(59) for _ in range(6)]
+        bob = shared + [rng.getrandbits(59) for _ in range(4)]
+        # MTZ sizing rule: with total-difference bound m and size delta
+        # Δ = |A| - |B|, use degrees ((m + Δ)/2, (m - Δ)/2) so the slack on
+        # both sides matches (the common factor R must fit both).
+        bound = 12
+        delta = len(alice) - len(bob)
+        d_p = (bound + delta) // 2
+        d_q = (bound - delta) // 2
+        points = [(1 << 60) + i for i in range(d_p + d_q + 1)]
+        values = char_ratio_samples(field, alice, bob, points)
+        result = interpolate_rational(field, points, values, d_p, d_q)
+        assert sorted(roots_of_split_polynomial(result.numerator)) == sorted(
+            set(alice) - set(bob)
+        )
+        assert sorted(roots_of_split_polynomial(result.denominator)) == sorted(
+            set(bob) - set(alice)
+        )

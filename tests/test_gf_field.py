@@ -1,0 +1,69 @@
+"""Unit tests for prime-field arithmetic."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gf.field import MERSENNE61, PrimeField, _is_probable_prime
+
+
+class TestPrimality:
+    def test_known_primes(self):
+        for p in (2, 3, 5, 7, 97, 7919, MERSENNE61):
+            assert _is_probable_prime(p)
+
+    def test_known_composites(self):
+        for n in (0, 1, 4, 9, 91, 561, 2**61 - 2):
+            assert not _is_probable_prime(n)
+
+
+class TestFieldOps:
+    field = PrimeField(97)
+
+    def test_modulus_must_be_prime(self):
+        with pytest.raises(ConfigError):
+            PrimeField(100)
+
+    def test_default_modulus_is_mersenne61(self):
+        assert PrimeField().p == MERSENNE61
+
+    def test_add_sub_wraparound(self):
+        f = self.field
+        assert f.add(96, 5) == 4
+        assert f.sub(3, 10) == 90
+
+    def test_neg(self):
+        assert self.field.neg(0) == 0
+        assert self.field.neg(1) == 96
+
+    def test_mul_inv_div(self):
+        f = self.field
+        for a in range(1, 97):
+            assert f.mul(a, f.inv(a)) == 1
+        assert f.div(10, 5) == 2
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            self.field.inv(0)
+
+    def test_pow_negative_exponent(self):
+        f = self.field
+        assert f.mul(f.pow(5, -1), 5) == 1
+        assert f.pow(5, -2) == f.mul(f.inv(5), f.inv(5))
+
+    def test_normalize(self):
+        assert self.field.normalize(-1) == 96
+        assert self.field.normalize(97 * 5 + 3) == 3
+
+    def test_random_element_bounds(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            value = self.field.random_element(rng)
+            assert 0 <= value < 97
+        for _ in range(50):
+            assert self.field.random_element(rng, nonzero=True) != 0
+
+    def test_field_is_hashable_value_object(self):
+        assert PrimeField(97) == PrimeField(97)
+        assert hash(PrimeField(97)) == hash(PrimeField(97))

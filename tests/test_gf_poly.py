@@ -1,0 +1,177 @@
+"""Unit tests for dense polynomial algebra over GF(p)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gf.field import PrimeField
+from repro.gf.poly import Poly
+
+F = PrimeField(97)
+
+
+def P(*coeffs):
+    """Low-degree-first polynomial shorthand."""
+    return Poly.make(F, coeffs)
+
+
+class TestConstruction:
+    def test_trailing_zeros_stripped(self):
+        assert P(1, 2, 0, 0).coeffs == (1, 2)
+
+    def test_zero(self):
+        zero = Poly.zero(F)
+        assert zero.is_zero
+        assert zero.degree == -1
+        assert zero.leading == 0
+
+    def test_one_and_x(self):
+        assert Poly.one(F).coeffs == (1,)
+        assert Poly.x(F).coeffs == (0, 1)
+
+    def test_constant(self):
+        assert Poly.constant(F, 100).coeffs == (3,)
+
+    def test_negative_coefficients_normalised(self):
+        assert P(-1).coeffs == (96,)
+
+    def test_from_roots_small(self):
+        poly = Poly.from_roots(F, [2, 5])
+        # (x-2)(x-5) = x^2 - 7x + 10
+        assert poly.coeffs == (10, 90, 1)
+
+    def test_from_roots_empty(self):
+        assert Poly.from_roots(F, []) == Poly.one(F)
+
+    def test_from_roots_evaluates_to_zero_at_roots(self):
+        roots = [3, 10, 44, 90]
+        poly = Poly.from_roots(F, roots)
+        assert poly.is_monic
+        assert poly.degree == 4
+        for root in roots:
+            assert poly(root) == 0
+
+    def test_from_roots_many_matches_left_fold(self):
+        roots = list(range(1, 40))
+        poly = Poly.from_roots(F, roots)
+        fold = Poly.one(F)
+        for r in roots:
+            fold = fold * P(-r, 1)
+        assert poly == fold
+
+
+class TestArithmetic:
+    def test_add_commutes_and_cancels(self):
+        a, b = P(1, 2, 3), P(4, 5)
+        assert a + b == b + a == P(5, 7, 3)
+        assert (a - a).is_zero
+
+    def test_mul_basic(self):
+        # (1 + x)(1 - x) = 1 - x^2
+        assert P(1, 1) * P(1, -1) == P(1, 0, -1)
+
+    def test_mul_zero(self):
+        assert (P(1, 2) * Poly.zero(F)).is_zero
+
+    def test_mul_degree_adds(self):
+        assert (P(1, 1, 1) * P(2, 3)).degree == 3
+
+    def test_different_fields_rejected(self):
+        other = Poly.make(PrimeField(101), [1])
+        with pytest.raises(ConfigError):
+            P(1) + other
+
+    def test_scale(self):
+        assert P(1, 2).scale(3) == P(3, 6)
+        assert P(1, 2).scale(0).is_zero
+
+    def test_shift(self):
+        assert P(1, 2).shift(2) == P(0, 0, 1, 2)
+        with pytest.raises(ConfigError):
+            P(1).shift(-1)
+
+    def test_eval_horner(self):
+        poly = P(1, 2, 3)  # 1 + 2x + 3x^2
+        assert poly(0) == 1
+        assert poly(1) == 6
+        assert poly(2) == (1 + 4 + 12) % 97
+
+
+class TestDivision:
+    def test_divmod_identity(self):
+        a = P(5, 0, 3, 1)
+        b = P(1, 2)
+        q, r = a.divmod(b)
+        assert q * b + r == a
+        assert r.degree < b.degree
+
+    def test_exact_division(self):
+        product = P(1, 2) * P(3, 4, 5)
+        assert product // P(1, 2) == P(3, 4, 5)
+        assert (product % P(1, 2)).is_zero
+
+    def test_divide_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            P(1).divmod(Poly.zero(F))
+
+    def test_small_by_large(self):
+        q, r = P(1, 2).divmod(P(1, 2, 3))
+        assert q.is_zero
+        assert r == P(1, 2)
+
+    def test_monic(self):
+        assert P(2, 4).monic() == P(49, 1)  # divide by 4... (2/4, 1) mod 97
+        assert Poly.zero(F).monic().is_zero
+
+    def test_gcd_of_products(self):
+        common = Poly.from_roots(F, [7, 11])
+        a = common * Poly.from_roots(F, [1])
+        b = common * Poly.from_roots(F, [2, 3])
+        assert a.gcd(b) == common
+
+    def test_gcd_coprime(self):
+        a = Poly.from_roots(F, [1, 2])
+        b = Poly.from_roots(F, [3, 4])
+        assert a.gcd(b) == Poly.one(F)
+
+    def test_gcd_with_zero(self):
+        a = Poly.from_roots(F, [5])
+        assert a.gcd(Poly.zero(F)) == a.monic()
+
+
+class TestPowmodDerivative:
+    def test_derivative(self):
+        # d/dx (1 + 2x + 3x^2) = 2 + 6x
+        assert P(1, 2, 3).derivative() == P(2, 6)
+        assert P(5).derivative().is_zero
+
+    def test_powmod_matches_naive(self):
+        base = P(1, 1)
+        modulus = P(1, 0, 1)  # x^2 + 1
+        naive = Poly.one(F)
+        for _ in range(13):
+            naive = (naive * base) % modulus
+        assert base.powmod(13, modulus) == naive
+
+    def test_powmod_zero_exponent(self):
+        assert P(4, 2).powmod(0, P(1, 0, 1)) == Poly.one(F)
+
+    def test_powmod_validation(self):
+        with pytest.raises(ConfigError):
+            P(1).powmod(-1, P(1, 1))
+        with pytest.raises(ConfigError):
+            P(1).powmod(2, P(5))
+
+    def test_fermat_on_polynomials(self):
+        """x^p ≡ x (mod f) structure: x^p - x kills all linear factors."""
+        f = Poly.from_roots(F, [10, 20, 30])
+        x = Poly.x(F)
+        frob = x.powmod(F.p, f)
+        assert ((frob - x) % f).is_zero
+
+
+class TestRepr:
+    def test_zero_repr(self):
+        assert repr(Poly.zero(F)) == "Poly(0)"
+
+    def test_terms_repr(self):
+        assert "x^2" in repr(P(0, 0, 5))

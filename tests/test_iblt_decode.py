@@ -1,0 +1,117 @@
+"""Unit tests for the IBLT peeling decoder."""
+
+import random
+
+from repro.iblt.decode import decode
+from repro.iblt.table import IBLT, IBLTConfig, recommended_cells
+
+
+def build_pair(alice_keys, bob_keys, cells=64, q=4, seed=21):
+    config = IBLTConfig(cells=cells, q=q, seed=seed)
+    alice = IBLT(config)
+    bob = IBLT(config)
+    alice.insert_all(alice_keys)
+    bob.insert_all(bob_keys)
+    return alice.subtract(bob)
+
+
+class TestDecodeBasics:
+    def test_empty_table_decodes_empty(self):
+        result = decode(build_pair([], []))
+        assert result.success
+        assert result.difference_size == 0
+        assert result.remaining_cells == 0
+
+    def test_identical_sets_decode_empty(self):
+        keys = list(range(100, 150))
+        result = decode(build_pair(keys, keys))
+        assert result.success
+        assert result.difference_size == 0
+
+    def test_single_alice_key(self):
+        result = decode(build_pair([42], []))
+        assert result.success
+        assert result.alice_keys == [42]
+        assert result.bob_keys == []
+
+    def test_single_bob_key(self):
+        result = decode(build_pair([], [42]))
+        assert result.success
+        assert result.alice_keys == []
+        assert result.bob_keys == [42]
+
+    def test_two_sided_difference(self):
+        shared = list(range(1000, 1040))
+        result = decode(build_pair(shared + [1, 2, 3], shared + [7, 8]))
+        assert result.success
+        assert sorted(result.alice_keys) == [1, 2, 3]
+        assert sorted(result.bob_keys) == [7, 8]
+
+    def test_decode_is_nondestructive(self):
+        diff = build_pair([1], [2])
+        before = (list(diff.counts), list(diff.key_sums))
+        decode(diff)
+        assert (list(diff.counts), list(diff.key_sums)) == before
+
+    def test_peel_order_length_matches(self):
+        result = decode(build_pair([1, 2, 3], [9]))
+        assert len(result.peel_order) == 4
+
+
+class TestDecodeCapacity:
+    def test_within_capacity_decodes(self):
+        rng = random.Random(5)
+        shared = [rng.getrandbits(60) for _ in range(500)]
+        alice_extra = [rng.getrandbits(60) for _ in range(20)]
+        bob_extra = [rng.getrandbits(60) for _ in range(20)]
+        cells = recommended_cells(40, q=4)
+        diff = build_pair(shared + alice_extra, shared + bob_extra, cells=cells)
+        result = decode(diff)
+        assert result.success
+        assert sorted(result.alice_keys) == sorted(alice_extra)
+        assert sorted(result.bob_keys) == sorted(bob_extra)
+
+    def test_overloaded_table_fails_gracefully(self):
+        rng = random.Random(6)
+        alice_extra = [rng.getrandbits(60) for _ in range(200)]
+        diff = build_pair(alice_extra, [], cells=32)
+        result = decode(diff)
+        assert not result.success
+        assert result.remaining_cells > 0
+
+    def test_max_items_guard(self):
+        rng = random.Random(7)
+        alice_extra = [rng.getrandbits(60) for _ in range(30)]
+        cells = recommended_cells(30, q=4)
+        diff = build_pair(alice_extra, [], cells=cells)
+        result = decode(diff, max_items=5)
+        assert not result.success
+
+    def test_success_rate_near_capacity(self):
+        """At 60% of the nominal threshold, virtually every table decodes."""
+        failures = 0
+        trials = 30
+        for trial in range(trials):
+            rng = random.Random(1000 + trial)
+            diff_keys = [rng.getrandbits(60) for _ in range(24)]
+            cells = recommended_cells(40, q=4)
+            diff = build_pair(diff_keys, [], cells=cells, seed=trial)
+            if not decode(diff).success:
+                failures += 1
+        assert failures == 0
+
+
+class TestDecodeCorruption:
+    def test_corrupted_cell_detected(self):
+        diff = build_pair([1, 2, 3], [4], cells=32)
+        diff.key_sums[0] ^= 0xDEAD  # simulate bit-rot in one cell
+        result = decode(diff)
+        # Peeling may partially proceed but cannot finish cleanly.
+        assert not result.success
+
+    def test_corrupted_count_detected(self):
+        diff = build_pair([10, 20], [], cells=32)
+        # Find a pure cell and break its count.
+        pure = next(i for i in range(32) if diff.cell_is_pure(i))
+        diff.counts[pure] += 1
+        assert not decode(diff).success

@@ -1,0 +1,118 @@
+"""Unit tests for the shared hashing layer."""
+
+import pytest
+
+from repro.iblt.hashing import (
+    HashFamily,
+    TabulationHash,
+    checksum64,
+    hash_with_salt,
+    splitmix64,
+    trailing_zeros,
+)
+
+
+class TestSplitmix64:
+    def test_deterministic(self):
+        assert splitmix64(12345) == splitmix64(12345)
+
+    def test_fits_in_64_bits(self):
+        for value in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= splitmix64(value) < 2**64
+
+    def test_wide_inputs_folded(self):
+        wide = (1 << 200) | 7
+        assert 0 <= splitmix64(wide) < 2**64
+
+    def test_wide_inputs_distinct_from_truncation(self):
+        wide = (1 << 100) | 7
+        assert splitmix64(wide) != splitmix64(7)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            splitmix64(-1)
+
+    def test_avalanche_smoke(self):
+        # Flipping one input bit should flip roughly half the output bits.
+        a = splitmix64(0xDEADBEEF)
+        b = splitmix64(0xDEADBEEF ^ 1)
+        flipped = bin(a ^ b).count("1")
+        assert 16 <= flipped <= 48
+
+
+class TestSaltedHashes:
+    def test_salt_changes_output(self):
+        assert hash_with_salt(42, 1) != hash_with_salt(42, 2)
+
+    def test_checksum_width(self):
+        for width in (8, 16, 32, 64):
+            assert checksum64(999, 7, width) < 2**width
+
+    def test_checksum_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            checksum64(1, 0, 0)
+        with pytest.raises(ValueError):
+            checksum64(1, 0, 65)
+
+
+class TestHashFamily:
+    def test_indices_are_distinct_and_in_partitions(self):
+        family = HashFamily(q=4, cells=64, seed=3)
+        for key in range(200):
+            indices = family.indices(key)
+            assert len(set(indices)) == 4
+            for i, index in enumerate(indices):
+                assert i * 16 <= index < (i + 1) * 16
+
+    def test_deterministic_across_instances(self):
+        a = HashFamily(q=3, cells=30, seed=11)
+        b = HashFamily(q=3, cells=30, seed=11)
+        assert a == b
+        assert a.indices(77) == b.indices(77)
+
+    def test_seed_changes_indices(self):
+        a = HashFamily(q=3, cells=30, seed=1)
+        b = HashFamily(q=3, cells=30, seed=2)
+        assert any(a.indices(key) != b.indices(key) for key in range(32))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashFamily(q=1, cells=10, seed=0)
+        with pytest.raises(ValueError):
+            HashFamily(q=3, cells=10, seed=0)  # not divisible
+
+    def test_repr_mentions_params(self):
+        assert "q=4" in repr(HashFamily(q=4, cells=8, seed=0))
+
+
+class TestTabulationHash:
+    def test_deterministic_given_seed(self):
+        a = TabulationHash(9)
+        b = TabulationHash(9)
+        assert all(a(v) == b(v) for v in (0, 1, 12345, 2**63))
+
+    def test_seed_matters(self):
+        a = TabulationHash(1)
+        b = TabulationHash(2)
+        assert any(a(v) != b(v) for v in range(16))
+
+    def test_wide_input_folded(self):
+        hasher = TabulationHash(5)
+        assert 0 <= hasher(1 << 200) < 2**64
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TabulationHash(5)(-1)
+
+
+class TestTrailingZeros:
+    def test_basic(self):
+        assert trailing_zeros(0b1000, 10) == 3
+        assert trailing_zeros(0b1, 10) == 0
+        assert trailing_zeros(0b110, 10) == 1
+
+    def test_zero_hits_limit(self):
+        assert trailing_zeros(0, 7) == 7
+
+    def test_cap(self):
+        assert trailing_zeros(1 << 30, 5) == 5

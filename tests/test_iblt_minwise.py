@@ -1,0 +1,97 @@
+"""Unit tests for the min-wise difference estimator."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError, SerializationError
+from repro.iblt.minwise import MinwiseEstimator
+
+
+def build_pair(n_shared, n_alice, n_bob, seed=0, sketch_size=256):
+    rng = random.Random(seed)
+    shared = [rng.getrandbits(60) for _ in range(n_shared)]
+    alice = MinwiseEstimator(sketch_size, seed=9)
+    bob = MinwiseEstimator(sketch_size, seed=9)
+    alice.insert_all(shared + [rng.getrandbits(60) for _ in range(n_alice)])
+    bob.insert_all(shared + [rng.getrandbits(60) for _ in range(n_bob)])
+    return alice, bob
+
+
+class TestSketchMechanics:
+    def test_keeps_only_s_minima(self):
+        estimator = MinwiseEstimator(sketch_size=16, seed=1)
+        estimator.insert_all(range(1000))
+        assert len(estimator.minima()) == 16
+
+    def test_minima_are_smallest(self):
+        estimator = MinwiseEstimator(sketch_size=8, seed=2)
+        values = list(range(500))
+        estimator.insert_all(values)
+        from repro.iblt.hashing import hash_with_salt
+
+        all_hashes = sorted(hash_with_salt(v, 2 ^ 0x31415) for v in values)
+        # The kept minima must be the 8 smallest hash values.
+        assert estimator.minima() == sorted(estimator.minima())
+        assert max(estimator.minima()) <= all_hashes[len(values) - 1]
+
+    def test_count_tracks_insertions(self):
+        estimator = MinwiseEstimator(seed=3)
+        estimator.insert_all(range(50))
+        assert estimator.count == 50
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MinwiseEstimator(sketch_size=4)
+
+
+class TestEstimation:
+    def test_identical_sets(self):
+        alice, bob = build_pair(400, 0, 0)
+        assert alice.estimate_difference(bob) == 0
+
+    def test_disjoint_sets(self):
+        alice, bob = build_pair(0, 300, 300)
+        estimate = alice.estimate_difference(bob)
+        assert 600 / 2 <= estimate <= 600 * 2
+
+    def test_moderate_difference(self):
+        estimates = []
+        for seed in range(6):
+            alice, bob = build_pair(300, 100, 100, seed=seed)
+            estimates.append(alice.estimate_difference(bob))
+        mean = sum(estimates) / len(estimates)
+        assert 200 / 2 <= mean <= 200 * 2
+
+    def test_small_relative_difference_degrades(self):
+        """The documented weakness: tiny differences vanish below the
+        sketch's resolution (this is what strata fixes)."""
+        alice, bob = build_pair(5000, 2, 2, sketch_size=64)
+        estimate = alice.estimate_difference(bob)
+        assert estimate < 500  # wildly unsure, but bounded
+
+    def test_empty_sets(self):
+        alice = MinwiseEstimator(seed=5)
+        bob = MinwiseEstimator(seed=5)
+        assert alice.estimate_difference(bob) == 0
+
+    def test_config_mismatch(self):
+        with pytest.raises(ConfigError):
+            MinwiseEstimator(seed=1).estimate_difference(MinwiseEstimator(seed=2))
+
+
+class TestWire:
+    def test_roundtrip(self):
+        alice, bob = build_pair(200, 10, 10)
+        restored = MinwiseEstimator.from_bytes(alice.to_bytes(), 256, 9)
+        assert restored.estimate_difference(bob) == alice.estimate_difference(bob)
+
+    def test_serialized_bits(self):
+        alice, _ = build_pair(100, 0, 0)
+        assert (alice.serialized_bits() + 7) // 8 == len(alice.to_bytes())
+
+    def test_oversized_sketch_rejected(self):
+        alice, _ = build_pair(400, 0, 0, sketch_size=64)
+        payload = alice.to_bytes()
+        with pytest.raises(SerializationError):
+            MinwiseEstimator.from_bytes(payload, 32, 9)

@@ -1,0 +1,80 @@
+"""Unit tests for the strata difference-size estimator."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.iblt.strata import StrataConfig, StrataEstimator
+
+
+def build_estimators(n_shared, n_alice, n_bob, seed=3, config=None):
+    config = config or StrataConfig(seed=99)
+    rng = random.Random(seed)
+    shared = [rng.getrandbits(60) for _ in range(n_shared)]
+    alice_only = [rng.getrandbits(60) for _ in range(n_alice)]
+    bob_only = [rng.getrandbits(60) for _ in range(n_bob)]
+    alice = StrataEstimator(config)
+    bob = StrataEstimator(config)
+    alice.insert_all(shared + alice_only)
+    bob.insert_all(shared + bob_only)
+    return alice, bob
+
+
+class TestStrataConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            StrataConfig(strata=1)
+        with pytest.raises(ConfigError):
+            StrataConfig(cells_per_stratum=2, q=4)
+
+    def test_per_stratum_salts_differ(self):
+        config = StrataConfig(seed=4)
+        assert config.iblt_config(0).seed != config.iblt_config(1).seed
+
+
+class TestEstimation:
+    def test_identical_sets_estimate_zero_or_tiny(self):
+        alice, bob = build_estimators(500, 0, 0)
+        assert alice.estimate_difference(bob) <= 1
+
+    def test_small_difference_exact(self):
+        # With a small difference every stratum decodes -> exact answer.
+        alice, bob = build_estimators(500, 4, 3)
+        assert alice.estimate_difference(bob) == 7
+
+    def test_large_difference_within_factor_two(self):
+        estimates = []
+        for seed in range(8):
+            alice, bob = build_estimators(500, 150, 150, seed=seed)
+            estimates.append(alice.estimate_difference(bob))
+        mean = sum(estimates) / len(estimates)
+        assert 300 / 2.5 <= mean <= 300 * 2.5
+
+    def test_estimate_grows_with_difference(self):
+        small_est = []
+        large_est = []
+        for seed in range(6):
+            alice, bob = build_estimators(200, 20, 20, seed=seed)
+            small_est.append(alice.estimate_difference(bob))
+            alice, bob = build_estimators(200, 200, 200, seed=seed)
+            large_est.append(alice.estimate_difference(bob))
+        assert sum(large_est) > sum(small_est)
+
+    def test_config_mismatch_rejected(self):
+        a = StrataEstimator(StrataConfig(seed=1))
+        b = StrataEstimator(StrataConfig(seed=2))
+        with pytest.raises(ConfigError):
+            a.estimate_difference(b)
+
+
+class TestStrataSerialisation:
+    def test_roundtrip_preserves_estimate(self):
+        alice, bob = build_estimators(300, 10, 10)
+        payload = alice.to_bytes()
+        restored = StrataEstimator.from_bytes(payload, alice.config)
+        assert restored.estimate_difference(bob) == alice.estimate_difference(bob)
+
+    def test_serialized_bits_matches_payload(self):
+        alice, _ = build_estimators(50, 2, 2)
+        assert (alice.serialized_bits() + 7) // 8 == len(alice.to_bytes())

@@ -1,0 +1,208 @@
+"""Unit tests for the IBLT cell algebra and serialisation."""
+
+import pytest
+
+from repro.errors import ConfigError, SerializationError
+from repro.iblt.table import (
+    DEFAULT_SAFETY,
+    IBLT,
+    IBLTConfig,
+    PEELING_THRESHOLDS,
+    recommended_cells,
+)
+
+
+def make_table(cells=32, q=4, key_bits=64, seed=1):
+    return IBLT(IBLTConfig(cells=cells, q=q, key_bits=key_bits, seed=seed))
+
+
+class TestConfig:
+    def test_valid_config(self):
+        config = IBLTConfig(cells=32, q=4)
+        assert config.capacity > 0
+
+    def test_cells_must_be_multiple_of_q(self):
+        with pytest.raises(ConfigError):
+            IBLTConfig(cells=30, q=4)
+
+    def test_q_too_small(self):
+        with pytest.raises(ConfigError):
+            IBLTConfig(cells=30, q=1)
+
+    def test_bad_key_bits(self):
+        with pytest.raises(ConfigError):
+            IBLTConfig(cells=32, q=4, key_bits=0)
+
+    def test_bad_checksum_bits(self):
+        with pytest.raises(ConfigError):
+            IBLTConfig(cells=32, q=4, checksum_bits=65)
+
+    def test_capacity_scales_with_cells(self):
+        small = IBLTConfig(cells=32, q=4).capacity
+        large = IBLTConfig(cells=320, q=4).capacity
+        assert large > small * 5
+
+
+class TestRecommendedCells:
+    def test_minimum_floor(self):
+        assert recommended_cells(0) >= 32
+
+    def test_multiple_of_q(self):
+        for q in (3, 4, 5):
+            assert recommended_cells(100, q=q) % q == 0
+
+    def test_enough_capacity(self):
+        for diff in (1, 10, 100, 1000):
+            cells = recommended_cells(diff, q=4)
+            assert IBLTConfig(cells=cells, q=4).capacity >= diff
+
+    def test_respects_threshold(self):
+        cells = recommended_cells(1000, q=3, safety=1.0)
+        assert cells >= 1000 / PEELING_THRESHOLDS[3]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            recommended_cells(-1)
+        with pytest.raises(ConfigError):
+            recommended_cells(10, q=7)
+        with pytest.raises(ConfigError):
+            recommended_cells(10, safety=0)
+
+    def test_default_safety_below_one(self):
+        assert 0 < DEFAULT_SAFETY < 1
+
+
+class TestCellAlgebra:
+    def test_insert_then_delete_is_empty(self):
+        table = make_table()
+        table.insert(42)
+        table.delete(42)
+        assert table.is_empty()
+
+    def test_insert_touches_q_cells(self):
+        table = make_table(q=4)
+        table.insert(7)
+        assert sum(table.counts) == 4
+        assert table.nonzero_cells() == 4
+
+    def test_negative_key_rejected(self):
+        with pytest.raises(ValueError):
+            make_table().insert(-1)
+
+    def test_oversized_key_rejected(self):
+        table = make_table(key_bits=8)
+        with pytest.raises(ValueError):
+            table.insert(256)
+
+    def test_insert_all_delete_all(self):
+        table = make_table()
+        table.insert_all(range(10))
+        table.delete_all(range(10))
+        assert table.is_empty()
+
+    def test_subtract_cancels_common_keys(self):
+        alice = make_table(seed=5)
+        bob = make_table(seed=5)
+        alice.insert_all([1, 2, 3, 100])
+        bob.insert_all([2, 3, 100, 999])
+        diff = alice.subtract(bob)
+        # Only keys 1 (Alice) and 999 (Bob) remain.
+        assert not diff.is_empty()
+        assert sum(diff.counts) == 0  # +q for Alice key, -q for Bob key
+
+    def test_subtract_identical_sets_is_empty(self):
+        alice = make_table(seed=9)
+        bob = make_table(seed=9)
+        keys = [splitkey * 17 for splitkey in range(50)]
+        alice.insert_all(keys)
+        bob.insert_all(keys)
+        assert alice.subtract(bob).is_empty()
+
+    def test_subtract_config_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            make_table(seed=1).subtract(make_table(seed=2))
+
+    def test_copy_is_independent(self):
+        table = make_table()
+        table.insert(5)
+        clone = table.copy()
+        clone.delete(5)
+        assert not table.is_empty()
+        assert clone.is_empty()
+
+
+class TestPurity:
+    def test_single_key_cell_is_pure(self):
+        table = make_table()
+        table.insert(1234)
+        pure_cells = [i for i in range(32) if table.cell_is_pure(i)]
+        assert len(pure_cells) == 4
+        assert all(table.cell_is_pure(i) == 1 for i in pure_cells)
+
+    def test_deleted_key_cell_is_pure_negative(self):
+        table = make_table()
+        table.delete(1234)
+        pure = [table.cell_is_pure(i) for i in range(32) if table.cell_is_pure(i)]
+        assert pure == [-1] * 4
+
+    def test_two_keys_in_cell_not_pure(self):
+        table = make_table(cells=4, q=4)  # 1 cell per partition: all collide
+        table.insert(1)
+        table.insert(2)
+        assert all(table.cell_is_pure(i) == 0 for i in range(4))
+
+    def test_checksum_guards_fake_purity(self):
+        # Construct a cell with count 1 but key_sum being XOR of 3 keys:
+        # 2 inserts + 1 delete in the same cell.
+        table = make_table(cells=4, q=4)
+        table.insert(1)
+        table.insert(2)
+        table.delete(3)
+        assert all(table.counts[i] == 1 for i in range(4))
+        assert all(table.cell_is_pure(i) == 0 for i in range(4))
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        table = make_table(seed=77)
+        table.insert_all([3, 1415, 926535, 2**63 - 1])
+        table.delete(897)
+        data = table.to_bytes()
+        restored = IBLT.from_bytes(data, table.config)
+        assert restored.counts == table.counts
+        assert restored.key_sums == table.key_sums
+        assert restored.check_sums == table.check_sums
+
+    def test_roundtrip_preserves_subtract_decode(self):
+        table = make_table(seed=4)
+        table.insert_all(range(5))
+        restored = IBLT.from_bytes(table.to_bytes(), table.config)
+        empty = make_table(seed=4)
+        assert restored.subtract(table).is_empty()
+        assert not restored.subtract(empty).is_empty()
+
+    def test_serialized_bits_matches_payload(self):
+        table = make_table()
+        table.insert_all(range(20))
+        bits = table.serialized_bits()
+        assert (bits + 7) // 8 == len(table.to_bytes())
+
+    def test_trailing_garbage_rejected(self):
+        table = make_table()
+        data = table.to_bytes() + b"\xff\xff"
+        with pytest.raises(SerializationError):
+            IBLT.from_bytes(data, table.config)
+
+    def test_truncated_payload_rejected(self):
+        table = make_table()
+        table.insert(5)
+        data = table.to_bytes()[:-3]
+        with pytest.raises(SerializationError):
+            IBLT.from_bytes(data, table.config)
+
+    def test_wide_keys_roundtrip(self):
+        config = IBLTConfig(cells=16, q=4, key_bits=200, seed=2)
+        table = IBLT(config)
+        table.insert((1 << 199) | 12345)
+        restored = IBLT.from_bytes(table.to_bytes(), config)
+        assert restored.key_sums == table.key_sums

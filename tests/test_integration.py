@@ -1,0 +1,160 @@
+"""End-to-end integration tests across subsystems.
+
+These exercise the full stacks the benchmarks rely on: workload generator →
+protocol/baseline → channel → EMD measurement, asserting the qualitative
+claims (who wins, what stays flat, what explodes) at miniature scale so the
+whole story is validated on every test run.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import ProtocolConfig, emd, reconcile, reconcile_adaptive
+from repro.analysis.methods import default_methods, measure_emd
+from repro.baselines import CPIReconciler, ExactIBF, FullTransfer
+from repro.emd.partial import emd_k
+from repro.workloads import (
+    boundary_pair,
+    clustered_pair,
+    geo_pair,
+    perturbed_pair,
+    sensor_pair,
+)
+
+
+class TestProtocolAgainstBaselines:
+    def test_robust_beats_exact_ibf_under_noise(self):
+        """The headline: noisy duplicates cost exact-IBF, not robust."""
+        workload = perturbed_pair(0, 600, 2**20, 2, true_k=4, noise=4)
+        config = ProtocolConfig(delta=2**20, dimension=2, k=8, seed=0)
+        robust = reconcile(workload.alice, workload.bob, config)
+        exact = ExactIBF(2**20, 2, seed=0).run(workload.alice, workload.bob)
+        assert robust.transcript.total_bits < exact.total_bits / 2
+
+    def test_exact_ibf_wins_without_noise(self):
+        """Fairness check: with clean data, exact reconciliation is cheaper."""
+        workload = perturbed_pair(1, 600, 2**20, 2, true_k=4, noise=0)
+        config = ProtocolConfig(delta=2**20, dimension=2, k=8, seed=1)
+        robust = reconcile(workload.alice, workload.bob, config)
+        exact = ExactIBF(2**20, 2, seed=1).run(workload.alice, workload.bob)
+        assert exact.total_bits < robust.transcript.total_bits
+
+    def test_robust_flat_in_n_exact_linear(self):
+        """4x the points: robust bits unchanged, exact-IBF bits ~4x."""
+        robust_bits, exact_bits = [], []
+        for n in (300, 1200):
+            workload = perturbed_pair(2, n, 2**20, 2, true_k=4, noise=4)
+            config = ProtocolConfig(delta=2**20, dimension=2, k=8, seed=2)
+            robust_bits.append(
+                reconcile(workload.alice, workload.bob, config).transcript.total_bits
+            )
+            exact_bits.append(
+                ExactIBF(2**20, 2, seed=2).run(workload.alice, workload.bob).total_bits
+            )
+        # Cell layout is identical; only the varint-coded per-cell counts
+        # grow (logarithmically) with n.
+        assert robust_bits[1] < robust_bits[0] * 1.1
+        assert exact_bits[1] > 2.5 * exact_bits[0]
+
+    def test_all_methods_quality_ordering(self):
+        """Exact methods reach EMD 0; robust lands within its bound."""
+        workload = perturbed_pair(3, 300, 2**12, 2, true_k=4, noise=2)
+        methods = default_methods(workload, k=8, seed=3)
+        exact_methods = ("exact-ibf", "full-transfer", "cpi")
+        for name in exact_methods:
+            run = methods[name]()
+            assert not run.failed, f"{name} failed"
+            assert run.emd_to(workload) == 0.0, name
+        robust_run = methods["robust"]()
+        floor = emd_k(workload.alice, workload.bob, 8, backend="scipy")
+        assert robust_run.emd_to(workload) <= max(50.0, 30 * max(floor, 1.0))
+
+
+class TestAdaptiveVersusOneRound:
+    def test_same_repair_quality_class(self):
+        workload = clustered_pair(4, 300, 2**16, 2, true_k=4, noise=3)
+        config = ProtocolConfig(delta=2**16, dimension=2, k=8, seed=4)
+        one = reconcile(workload.alice, workload.bob, config)
+        two = reconcile_adaptive(workload.alice, workload.bob, config)
+        q_one = emd(workload.alice, one.repaired, backend="scipy")
+        q_two = emd(workload.alice, two.repaired, backend="scipy")
+        assert q_two <= 5 * max(q_one, 1.0)
+
+    def test_adaptive_round_structure(self):
+        workload = perturbed_pair(5, 200, 2**16, 2, true_k=2, noise=2)
+        config = ProtocolConfig(delta=2**16, dimension=2, k=4, seed=5)
+        result = reconcile_adaptive(workload.alice, workload.bob, config)
+        assert result.transcript.rounds == 2
+        assert result.transcript.message_labels[0] == "adaptive-request"
+
+
+class TestScenarioWorkloads:
+    @pytest.mark.parametrize("maker,kwargs", [
+        (sensor_pair, dict(n_objects=150, delta=2**16, dimension=2,
+                           sensor_noise=3.0, missed=2, ghosts=1)),
+        (geo_pair, dict(n=150, delta=2**16, true_k=3, noise=3.0)),
+        (clustered_pair, dict(n=150, delta=2**16, dimension=2,
+                              true_k=3, noise=3.0)),
+    ])
+    def test_protocol_handles_every_scenario(self, maker, kwargs):
+        workload = maker(6, **kwargs)
+        config = ProtocolConfig(
+            delta=workload.delta, dimension=workload.dimension,
+            k=2 * workload.true_k + 2, seed=6,
+        )
+        result = reconcile(workload.alice, workload.bob, config)
+        assert len(result.repaired) == len(workload.alice)
+        before = measure_emd(workload, workload.bob)
+        after = measure_emd(workload, result.repaired)
+        assert after <= before or math.isclose(after, before, rel_tol=0.05)
+
+    def test_boundary_workload_shift_matters(self):
+        """Unshifted variant needs a far coarser level on adversarial data."""
+        workload = boundary_pair(7, 300, 2**12, 2, true_k=2, cell_width=64)
+        shifted_config = ProtocolConfig(delta=2**12, dimension=2, k=6, seed=7)
+        unshifted_config = ProtocolConfig(
+            delta=2**12, dimension=2, k=6, seed=7, random_shift=False
+        )
+        shifted = reconcile(workload.alice, workload.bob, shifted_config)
+        unshifted = reconcile(workload.alice, workload.bob, unshifted_config)
+        assert shifted.level < unshifted.level
+
+    def test_duplicate_heavy_multisets(self):
+        """Many co-located points: multiset occurrence keys hold up."""
+        rng = random.Random(8)
+        base = [(100, 100)] * 40 + [(500, 500)] * 40
+        alice = base + [(900, 900)]
+        bob = list(base) + [(10, 900)]
+        config = ProtocolConfig(delta=1024, dimension=2, k=4, seed=8)
+        result = reconcile(alice, bob, config)
+        assert len(result.repaired) == len(alice)
+        assert emd(alice, result.repaired, backend="scipy") <= emd(
+            alice, bob, backend="scipy"
+        )
+
+
+class TestCPIAgainstIBF:
+    def test_bit_efficiency_ordering_on_clean_data(self):
+        """CPI ships fewer A->B bits than IBF for the same clean diff."""
+        rng = random.Random(9)
+        pool = set()
+        while len(pool) < 520:
+            pool.add((rng.randrange(2**12), rng.randrange(2**12)))
+        pool = list(pool)
+        shared, alice_extra, bob_extra = pool[:500], pool[500:510], pool[510:]
+        alice = shared + alice_extra
+        bob = shared + bob_extra
+        cpi = CPIReconciler(2**12, 2, seed=9).run(alice, bob)
+        ibf = ExactIBF(2**12, 2, seed=9).run(alice, bob)
+        assert sorted(cpi.repaired) == sorted(ibf.repaired) == sorted(alice)
+        assert (
+            cpi.transcript.alice_to_bob_bits < ibf.transcript.alice_to_bob_bits
+        )
+
+    def test_full_transfer_is_the_ceiling(self):
+        workload = perturbed_pair(10, 400, 2**12, 2, true_k=2, noise=0)
+        full = FullTransfer(2**12, 2).run(workload.alice, workload.bob)
+        assert full.total_bits >= 400 * 24  # n * d * log2(delta)
+        assert sorted(full.repaired) == sorted(workload.alice)

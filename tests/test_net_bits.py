@@ -1,0 +1,178 @@
+"""Unit tests for the bit-granular serialisation layer."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.net.bits import (
+    BitReader,
+    BitWriter,
+    uint_width,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class TestUintWidth:
+    def test_zero_needs_one_bit(self):
+        assert uint_width(0) == 1
+
+    def test_powers_of_two(self):
+        assert uint_width(1) == 1
+        assert uint_width(2) == 2
+        assert uint_width(255) == 8
+        assert uint_width(256) == 9
+
+    def test_negative_rejected(self):
+        with pytest.raises(SerializationError):
+            uint_width(-1)
+
+
+class TestZigzag:
+    def test_small_values(self):
+        assert [zigzag_encode(v) for v in (0, -1, 1, -2, 2)] == [0, 1, 2, 3, 4]
+
+    def test_roundtrip(self):
+        for value in (-1000, -17, -1, 0, 1, 5, 2**40, -(2**40)):
+            assert zigzag_decode(zigzag_encode(value)) == value
+
+    def test_decode_negative_rejected(self):
+        with pytest.raises(SerializationError):
+            zigzag_decode(-3)
+
+
+class TestBitWriter:
+    def test_empty_writer(self):
+        writer = BitWriter()
+        assert writer.bit_length == 0
+        assert writer.getvalue() == b""
+
+    def test_single_bits(self):
+        writer = BitWriter()
+        for bit in (1, 0, 1, 1):
+            writer.write_bit(bit)
+        assert writer.bit_length == 4
+        # 1011 padded to 10110000 = 0xB0.
+        assert writer.getvalue() == b"\xb0"
+
+    def test_bad_bit_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(SerializationError):
+            writer.write_bit(2)
+
+    def test_uint_exact_width(self):
+        writer = BitWriter()
+        writer.write_uint(0xAB, 8)
+        assert writer.getvalue() == b"\xab"
+
+    def test_uint_overflow_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(SerializationError):
+            writer.write_uint(256, 8)
+
+    def test_uint_negative_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(SerializationError):
+            writer.write_uint(-1, 8)
+
+    def test_uint_zero_width_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(SerializationError):
+            writer.write_uint(0, 0)
+
+    def test_varint_small_is_one_byte(self):
+        writer = BitWriter()
+        writer.write_varint(127)
+        assert writer.byte_length == 1
+
+    def test_varint_negative_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(SerializationError):
+            writer.write_varint(-1)
+
+    def test_byte_length_rounds_up(self):
+        writer = BitWriter()
+        writer.write_uint(1, 3)
+        assert writer.byte_length == 1
+        assert len(writer.getvalue()) == 1
+
+
+class TestRoundtrips:
+    def test_mixed_fields(self):
+        writer = BitWriter()
+        writer.write_uint(5, 3)
+        writer.write_varint(300)
+        writer.write_svarint(-42)
+        writer.write_bit(1)
+        writer.write_bytes(b"hello")
+        reader = BitReader(writer.getvalue())
+        assert reader.read_uint(3) == 5
+        assert reader.read_varint() == 300
+        assert reader.read_svarint() == -42
+        assert reader.read_bit() == 1
+        assert reader.read_bytes() == b"hello"
+        reader.expect_end()
+
+    def test_wide_uint(self):
+        writer = BitWriter()
+        value = (1 << 200) - 12345
+        writer.write_uint(value, 200)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_uint(200) == value
+
+    def test_large_varints(self):
+        values = [0, 1, 127, 128, 2**32, 2**63 + 11]
+        writer = BitWriter()
+        for value in values:
+            writer.write_varint(value)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_varint() for _ in values] == values
+
+    def test_bits_consumed_tracking(self):
+        writer = BitWriter()
+        writer.write_uint(3, 2)
+        writer.write_uint(1, 7)
+        reader = BitReader(writer.getvalue())
+        reader.read_uint(2)
+        assert reader.bits_consumed == 2
+        reader.read_uint(7)
+        assert reader.bits_consumed == 9
+
+
+class TestReaderErrors:
+    def test_overrun(self):
+        reader = BitReader(b"\x01")
+        with pytest.raises(SerializationError):
+            reader.read_uint(9)
+
+    def test_expect_end_with_unread_byte(self):
+        reader = BitReader(b"\x01\x02")
+        reader.read_uint(8)
+        with pytest.raises(SerializationError):
+            reader.expect_end()
+
+    def test_expect_end_nonzero_padding(self):
+        reader = BitReader(b"\xff")
+        reader.read_uint(3)
+        with pytest.raises(SerializationError):
+            reader.expect_end()
+
+    def test_expect_end_accepts_zero_padding(self):
+        writer = BitWriter()
+        writer.write_uint(1, 3)
+        reader = BitReader(writer.getvalue())
+        reader.read_uint(3)
+        reader.expect_end()
+
+    def test_strict_expect_end(self):
+        writer = BitWriter()
+        writer.write_uint(1, 8)
+        reader = BitReader(writer.getvalue())
+        reader.read_uint(8)
+        reader.expect_end(allow_padding=False)
+
+    def test_bytes_overrun(self):
+        writer = BitWriter()
+        writer.write_varint(100)  # claims 100 bytes follow, none do
+        reader = BitReader(writer.getvalue())
+        with pytest.raises(SerializationError):
+            reader.read_bytes()

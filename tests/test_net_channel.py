@@ -1,0 +1,79 @@
+"""Unit tests for the simulated channel and transcripts."""
+
+import pytest
+
+from repro.errors import ChannelError
+from repro.net.channel import Direction, SimulatedChannel
+from repro.net.transcript import Transcript
+
+
+class TestSimulatedChannel:
+    def test_send_returns_payload(self):
+        channel = SimulatedChannel()
+        payload = channel.send(Direction.ALICE_TO_BOB, b"abc", "greeting")
+        assert payload == b"abc"
+
+    def test_bit_accounting(self):
+        channel = SimulatedChannel()
+        channel.send(Direction.ALICE_TO_BOB, b"abcd")
+        channel.send(Direction.BOB_TO_ALICE, b"xy")
+        assert channel.total_bits == 48
+        assert channel.total_bytes == 6
+        assert channel.bits_from(Direction.ALICE_TO_BOB) == 32
+        assert channel.bits_from(Direction.BOB_TO_ALICE) == 16
+
+    def test_round_counting_alternating(self):
+        channel = SimulatedChannel()
+        channel.send(Direction.BOB_TO_ALICE, b"1")
+        channel.send(Direction.ALICE_TO_BOB, b"2")
+        channel.send(Direction.BOB_TO_ALICE, b"3")
+        assert channel.rounds == 3
+
+    def test_round_counting_merges_same_direction(self):
+        channel = SimulatedChannel()
+        channel.send(Direction.ALICE_TO_BOB, b"1")
+        channel.send(Direction.ALICE_TO_BOB, b"2")
+        assert channel.rounds == 1
+
+    def test_empty_channel_has_zero_rounds(self):
+        assert SimulatedChannel().rounds == 0
+
+    def test_closed_channel_rejects_send(self):
+        channel = SimulatedChannel()
+        channel.close()
+        with pytest.raises(ChannelError):
+            channel.send(Direction.ALICE_TO_BOB, b"late")
+
+    def test_non_bytes_payload_rejected(self):
+        channel = SimulatedChannel()
+        with pytest.raises(ChannelError):
+            channel.send(Direction.ALICE_TO_BOB, "not bytes")
+
+    def test_bytearray_payload_accepted(self):
+        channel = SimulatedChannel()
+        assert channel.send(Direction.ALICE_TO_BOB, bytearray(b"ok")) == b"ok"
+
+
+class TestTranscript:
+    def test_from_channel(self):
+        channel = SimulatedChannel()
+        channel.send(Direction.ALICE_TO_BOB, b"abcd", "sketch")
+        channel.send(Direction.BOB_TO_ALICE, b"z", "ack")
+        transcript = Transcript.from_channel(channel)
+        assert transcript.total_bits == 40
+        assert transcript.alice_to_bob_bits == 32
+        assert transcript.bob_to_alice_bits == 8
+        assert transcript.rounds == 2
+        assert transcript.message_labels == ("sketch", "ack")
+        assert transcript.total_bytes == 5
+
+    def test_describe_mentions_labels(self):
+        channel = SimulatedChannel()
+        channel.send(Direction.ALICE_TO_BOB, b"abcd", "sketch")
+        text = Transcript.from_channel(channel).describe()
+        assert "sketch" in text
+        assert "32 bits" in text
+
+    def test_describe_empty(self):
+        text = Transcript.from_channel(SimulatedChannel()).describe()
+        assert "none" in text

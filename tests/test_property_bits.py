@@ -1,0 +1,85 @@
+"""Property-based tests for the bit IO layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.bits import BitReader, BitWriter, zigzag_decode, zigzag_encode
+
+uints = st.integers(min_value=0, max_value=2**80)
+sints = st.integers(min_value=-(2**80), max_value=2**80)
+
+
+@given(sints)
+def test_zigzag_roundtrip(value):
+    assert zigzag_decode(zigzag_encode(value)) == value
+
+
+@given(st.integers(min_value=0, max_value=2**80 - 1))
+def test_zigzag_decode_is_injective_inverse(value):
+    assert zigzag_encode(zigzag_decode(value)) == value
+
+
+@given(st.lists(uints, max_size=50))
+def test_varint_stream_roundtrip(values):
+    writer = BitWriter()
+    for value in values:
+        writer.write_varint(value)
+    reader = BitReader(writer.getvalue())
+    assert [reader.read_varint() for _ in values] == values
+    reader.expect_end()
+
+
+@given(st.lists(sints, max_size=50))
+def test_svarint_stream_roundtrip(values):
+    writer = BitWriter()
+    for value in values:
+        writer.write_svarint(value)
+    reader = BitReader(writer.getvalue())
+    assert [reader.read_svarint() for _ in values] == values
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=1, max_value=120), st.data()),
+        max_size=30,
+    )
+)
+def test_mixed_width_uint_roundtrip(fields):
+    # Draw a value that fits each random width, write all, read all back.
+    widths_values = []
+    writer = BitWriter()
+    for width, data in fields:
+        value = data.draw(st.integers(min_value=0, max_value=2**width - 1))
+        widths_values.append((width, value))
+        writer.write_uint(value, width)
+    reader = BitReader(writer.getvalue())
+    for width, value in widths_values:
+        assert reader.read_uint(width) == value
+
+
+@given(st.binary(max_size=200))
+def test_bytes_roundtrip(data):
+    writer = BitWriter()
+    writer.write_bytes(data)
+    reader = BitReader(writer.getvalue())
+    assert reader.read_bytes() == data
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1), max_size=64))
+@settings(max_examples=50)
+def test_bit_stream_roundtrip(bits):
+    writer = BitWriter()
+    for bit in bits:
+        writer.write_bit(bit)
+    reader = BitReader(writer.getvalue())
+    assert [reader.read_bit() for _ in bits] == bits
+
+
+@given(st.lists(uints, max_size=20))
+def test_bit_length_is_byte_aligned_payload(values):
+    writer = BitWriter()
+    for value in values:
+        writer.write_varint(value)
+    payload = writer.getvalue()
+    assert len(payload) == writer.byte_length
+    assert len(payload) * 8 - writer.bit_length < 8

@@ -1,0 +1,99 @@
+"""Property-based tests for the GF(p) polynomial substrate."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf.factor import roots_of_split_polynomial
+from repro.gf.field import PrimeField
+from repro.gf.interp import interpolate_rational
+from repro.gf.poly import Poly
+
+F = PrimeField(10_007)
+
+coeff_lists = st.lists(
+    st.integers(min_value=0, max_value=10_006), min_size=0, max_size=12
+)
+elements = st.integers(min_value=0, max_value=10_006)
+
+
+def P(coeffs):
+    return Poly.make(F, coeffs)
+
+
+@given(coeff_lists, coeff_lists)
+def test_addition_commutes(a, b):
+    assert P(a) + P(b) == P(b) + P(a)
+
+
+@given(coeff_lists, coeff_lists, coeff_lists)
+@settings(max_examples=50)
+def test_multiplication_distributes(a, b, c):
+    pa, pb, pc = P(a), P(b), P(c)
+    assert pa * (pb + pc) == pa * pb + pa * pc
+
+
+@given(coeff_lists, coeff_lists)
+@settings(max_examples=50)
+def test_divmod_identity(a, b):
+    pa, pb = P(a), P(b)
+    if pb.is_zero:
+        return
+    quotient, remainder = pa.divmod(pb)
+    assert quotient * pb + remainder == pa
+    assert remainder.degree < pb.degree
+
+
+@given(coeff_lists, elements)
+def test_evaluation_is_ring_homomorphism(a, point):
+    pa = P(a)
+    pb = P([3, 1])
+    assert (pa * pb)(point) == F.mul(pa(point), pb(point))
+    assert (pa + pb)(point) == F.add(pa(point), pb(point))
+
+
+@given(st.sets(elements, min_size=0, max_size=10))
+@settings(max_examples=40)
+def test_from_roots_factors_back(roots):
+    poly = Poly.from_roots(F, sorted(roots))
+    assert roots_of_split_polynomial(poly) == sorted(roots)
+
+
+@given(st.sets(elements, min_size=1, max_size=8), st.sets(elements, min_size=1, max_size=8))
+@settings(max_examples=30)
+def test_gcd_contains_shared_roots(a_roots, b_roots):
+    shared = a_roots & b_roots
+    gcd = Poly.from_roots(F, sorted(a_roots)).gcd(
+        Poly.from_roots(F, sorted(b_roots))
+    )
+    # gcd must vanish exactly on the shared roots.
+    for root in shared:
+        assert gcd(root) == 0
+    assert gcd.degree == len(shared)
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=4_000), min_size=0, max_size=6),
+    st.sets(st.integers(min_value=4_001, max_value=8_000), min_size=0, max_size=6),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_cpi_rational_recovery(alice_only, bob_only, seed):
+    """The full CPI pipeline as a property: recover both difference sides."""
+    rng = random.Random(seed)
+    shared = {8_500 + i for i in range(10)}
+    alice = sorted(shared | alice_only)
+    bob = sorted(shared | bob_only)
+    chi_a = Poly.from_roots(F, alice)
+    chi_b = Poly.from_roots(F, bob)
+    d_num, d_den = len(alice_only), len(bob_only)
+    points = []
+    while len(points) < d_num + d_den + 1:
+        candidate = rng.randrange(10_007)
+        if chi_b(candidate) != 0 and candidate not in points:
+            points.append(candidate)
+    values = [F.div(chi_a(z), chi_b(z)) for z in points]
+    rational = interpolate_rational(F, points, values, d_num, d_den)
+    assert roots_of_split_polynomial(rational.numerator) == sorted(alice_only)
+    assert roots_of_split_polynomial(rational.denominator) == sorted(bob_only)

@@ -1,0 +1,109 @@
+"""Property-based tests of the end-to-end protocol invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ProtocolConfig
+from repro.core.grid import ShiftedGridHierarchy
+from repro.core.protocol import reconcile
+from repro.emd.matching import emd
+from repro.emd.metrics import distance
+
+DELTA = 512
+
+points_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=DELTA - 1),
+        st.integers(min_value=0, max_value=DELTA - 1),
+    ),
+    min_size=0,
+    max_size=30,
+)
+
+
+@given(points_strategy, st.integers(min_value=0, max_value=100))
+@settings(max_examples=30, deadline=None)
+def test_identical_multisets_reconcile_exactly(points, seed):
+    config = ProtocolConfig(delta=DELTA, dimension=2, k=2, seed=seed)
+    result = reconcile(points, list(points), config)
+    assert sorted(result.repaired) == sorted(points)
+    assert result.level == 0
+
+
+@given(points_strategy, points_strategy, st.integers(min_value=0, max_value=100))
+@settings(max_examples=30, deadline=None)
+def test_size_invariant_holds_for_arbitrary_sets(alice, bob, seed):
+    """|S'_B| always equals |S_A| whenever the protocol succeeds."""
+    config = ProtocolConfig(delta=DELTA, dimension=2, k=8, seed=seed)
+    result = reconcile(alice, bob, config)
+    assert len(result.repaired) == len(alice)
+
+
+@given(
+    points_strategy,
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=30, deadline=None)
+def test_noise_only_repair_never_leaves_grid(points, noise, seed):
+    rng = random.Random(seed)
+    bob = [
+        tuple(
+            max(0, min(DELTA - 1, c + rng.randint(-noise, noise)))
+            for c in point
+        )
+        for point in points
+    ]
+    config = ProtocolConfig(delta=DELTA, dimension=2, k=4, seed=seed)
+    result = reconcile(points, bob, config)
+    for point in result.repaired:
+        assert all(0 <= c < DELTA for c in point)
+
+
+@given(points_strategy, st.integers(min_value=0, max_value=100))
+@settings(max_examples=20, deadline=None)
+def test_repair_emd_never_worse_than_replacing_everything(alice, seed):
+    """Repaired EMD is at most n * grid diameter (sanity ceiling)."""
+    rng = random.Random(seed)
+    bob = [
+        (rng.randrange(DELTA), rng.randrange(DELTA)) for _ in alice
+    ]
+    config = ProtocolConfig(delta=DELTA, dimension=2, k=max(2, len(alice)),
+                            seed=seed)
+    result = reconcile(alice, bob, config)
+    if alice:
+        ceiling = len(alice) * 2 * DELTA
+        assert emd(alice, result.repaired, backend="scipy") <= ceiling
+
+
+@given(
+    st.tuples(
+        st.integers(min_value=0, max_value=DELTA - 1),
+        st.integers(min_value=0, max_value=DELTA - 1),
+    ),
+    st.integers(min_value=0, max_value=9),
+    st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=60, deadline=None)
+def test_grid_center_distance_bounded(point, level, seed):
+    """centre(cell(x)) is within the cell diameter of x, at every level."""
+    grid = ShiftedGridHierarchy(DELTA, 2, seed)
+    level = min(level, grid.max_level)
+    centre = grid.center(grid.cell(point, level), level)
+    assert distance(point, centre, "l1") <= grid.cell_diameter(level) + 2
+
+
+@given(points_strategy, st.integers(min_value=0, max_value=50))
+@settings(max_examples=20, deadline=None)
+def test_strategies_agree_on_size(points, seed):
+    rng = random.Random(seed)
+    bob = [
+        tuple(max(0, min(DELTA - 1, c + rng.randint(-2, 2))) for c in p)
+        for p in points
+    ]
+    config = ProtocolConfig(delta=DELTA, dimension=2, k=4, seed=seed)
+    occurrence = reconcile(points, bob, config, strategy="occurrence")
+    centroid = reconcile(points, bob, config, strategy="centroid")
+    assert len(occurrence.repaired) == len(centroid.repaired) == len(points)

@@ -1,0 +1,118 @@
+"""Randomised cross-seed consistency checks (moderate-scale stress).
+
+These aggregate over many seeds to catch rare events single-seed unit
+tests miss: decode-level flakiness, guarantee violations in the tail,
+occurrence-key collisions, and the determinism contract (same seed, same
+bytes, on every code path).
+"""
+
+import random
+
+import pytest
+
+from repro.core.bounds import predicted_emd_bound
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import HierarchicalReconciler, reconcile
+from repro.emd.matching import emd
+from repro.emd.partial import emd_k
+from repro.iblt.decode import decode
+from repro.iblt.table import IBLT, IBLTConfig, recommended_cells
+from repro.workloads.synthetic import perturbed_pair
+
+SEEDS = range(20)
+
+
+@pytest.mark.slow
+class TestGuaranteeTail:
+    def test_emd_guarantee_across_many_seeds(self):
+        """The O(d)·EMD_k bound must hold in (nearly) every run, not just on
+        average — allow at most one tail violation in twenty."""
+        violations = 0
+        for seed in SEEDS:
+            workload = perturbed_pair(seed, 120, 2**14, 2, true_k=4, noise=4)
+            config = ProtocolConfig(delta=2**14, dimension=2, k=8, seed=seed)
+            result = reconcile(workload.alice, workload.bob, config)
+            achieved = emd(workload.alice, result.repaired, backend="scipy")
+            floor = max(emd_k(workload.alice, workload.bob, 8, backend="scipy"), 1.0)
+            bound = predicted_emd_bound(floor, 8, 2, config.diff_margin)
+            if achieved > bound:
+                violations += 1
+        assert violations <= 1
+
+    def test_size_invariant_never_breaks(self):
+        for seed in SEEDS:
+            workload = perturbed_pair(seed, 100, 2**12, 2, true_k=3, noise=3)
+            config = ProtocolConfig(delta=2**12, dimension=2, k=8, seed=seed)
+            result = reconcile(workload.alice, workload.bob, config)
+            assert len(result.repaired) == len(workload.alice)
+
+
+@pytest.mark.slow
+class TestDeterminism:
+    def test_encode_is_a_pure_function_of_seed_and_data(self):
+        config = ProtocolConfig(delta=2**12, dimension=2, k=4, seed=77)
+        workload = perturbed_pair(5, 150, 2**12, 2, true_k=3, noise=2)
+        first = HierarchicalReconciler(config).encode(workload.alice)
+        second = HierarchicalReconciler(config).encode(workload.alice)
+        assert first == second
+
+    def test_input_order_invariance(self):
+        """The sketch is a function of the multiset, not the list order."""
+        config = ProtocolConfig(delta=2**12, dimension=2, k=4, seed=78)
+        workload = perturbed_pair(6, 150, 2**12, 2, true_k=3, noise=2)
+        shuffled = list(workload.alice)
+        random.Random(0).shuffle(shuffled)
+        reconciler = HierarchicalReconciler(config)
+        assert reconciler.encode(workload.alice) == reconciler.encode(shuffled)
+
+    def test_repair_is_deterministic(self):
+        config = ProtocolConfig(delta=2**12, dimension=2, k=6, seed=79)
+        workload = perturbed_pair(7, 150, 2**12, 2, true_k=3, noise=3)
+        results = [
+            reconcile(workload.alice, workload.bob, config).repaired
+            for _ in range(2)
+        ]
+        assert results[0] == results[1]
+
+
+@pytest.mark.slow
+class TestIBLTBulkConsistency:
+    def test_many_random_subtract_decodes(self):
+        """300 random subtract/decode rounds with zero wrong recoveries."""
+        wrong = 0
+        for seed in range(300):
+            rng = random.Random(10_000 + seed)
+            diff_a = {rng.getrandbits(48) for _ in range(rng.randrange(0, 20))}
+            diff_b = {rng.getrandbits(48) for _ in range(rng.randrange(0, 20))}
+            diff_b -= diff_a
+            shared = {rng.getrandbits(48) for _ in range(50)} - diff_a - diff_b
+            config = IBLTConfig(
+                cells=recommended_cells(40, q=4), q=4, key_bits=48, seed=seed
+            )
+            alice, bob = IBLT(config), IBLT(config)
+            alice.insert_all(shared | diff_a)
+            bob.insert_all(shared | diff_b)
+            result = decode(alice.subtract(bob))
+            if not result.success:
+                wrong += 1
+                continue
+            if sorted(result.alice_keys) != sorted(diff_a):
+                wrong += 1
+            if sorted(result.bob_keys) != sorted(diff_b):
+                wrong += 1
+        assert wrong == 0
+
+    def test_checksum_blocks_misdecodes_at_overload(self):
+        """Overloaded tables must fail, never hallucinate keys."""
+        for seed in range(40):
+            rng = random.Random(20_000 + seed)
+            keys = {rng.getrandbits(48) for _ in range(200)}
+            config = IBLTConfig(cells=64, q=4, key_bits=48, seed=seed)
+            table = IBLT(config)
+            table.insert_all(keys)
+            result = decode(table)
+            if result.success:
+                # Success at 3x the threshold would itself be a red flag.
+                assert sorted(result.alice_keys) == sorted(keys)
+            for key in result.alice_keys:
+                assert key in keys  # partial peels must still be truthful

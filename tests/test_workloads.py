@@ -1,0 +1,187 @@
+"""Unit tests for the workload generators."""
+
+import random
+
+import pytest
+
+from repro.core.grid import ShiftedGridHierarchy
+from repro.errors import ConfigError
+from repro.workloads import (
+    WorkloadPair,
+    boundary_pair,
+    clustered_pair,
+    clustered_points,
+    geo_pair,
+    perturbed_pair,
+    sensor_pair,
+    uniform_points,
+)
+from repro.workloads.synthetic import deduplicate
+
+
+class TestWorkloadPair:
+    def test_validation_dimension(self):
+        with pytest.raises(ConfigError):
+            WorkloadPair("x", [(1, 2)], [(1,)], 16, 2, 0, 0.0)
+
+    def test_validation_range(self):
+        with pytest.raises(ConfigError):
+            WorkloadPair("x", [(99,)], [(1,)], 16, 1, 0, 0.0)
+
+    def test_describe(self):
+        pair = perturbed_pair(0, 10, 64, 2, true_k=1, noise=1)
+        text = pair.describe()
+        assert "n=11/11" in text
+        assert "true_k=1" in text
+
+
+class TestPerturbedPair:
+    def test_sizes_match(self):
+        pair = perturbed_pair(1, 100, 1024, 2, true_k=5, noise=2)
+        assert len(pair.alice) == len(pair.bob) == 105
+
+    def test_deterministic_per_seed(self):
+        a = perturbed_pair(2, 50, 1024, 2, true_k=2, noise=2)
+        b = perturbed_pair(2, 50, 1024, 2, true_k=2, noise=2)
+        assert a.alice == b.alice
+        assert a.bob == b.bob
+
+    def test_seed_changes_data(self):
+        a = perturbed_pair(3, 50, 1024, 2, true_k=2, noise=2)
+        b = perturbed_pair(4, 50, 1024, 2, true_k=2, noise=2)
+        assert a.alice != b.alice
+
+    def test_zero_noise_shares_base(self):
+        pair = perturbed_pair(5, 50, 1024, 2, true_k=0, noise=0)
+        assert sorted(pair.alice) == sorted(pair.bob)
+
+    def test_noise_bounded_uniform(self):
+        pair = perturbed_pair(6, 80, 1024, 2, true_k=0, noise=3)
+        for a, b in zip(pair.alice, pair.bob):
+            assert all(abs(x - y) <= 3 for x, y in zip(a, b))
+
+    def test_gaussian_model(self):
+        pair = perturbed_pair(
+            7, 80, 1024, 2, true_k=0, noise=2.0, noise_model="gaussian"
+        )
+        moved = sum(1 for a, b in zip(pair.alice, pair.bob) if a != b)
+        assert moved > 40  # most points perturbed
+
+    def test_bad_noise_model(self):
+        with pytest.raises(ConfigError):
+            perturbed_pair(8, 10, 64, 1, 0, 1, noise_model="laplace")
+
+    def test_bad_base(self):
+        with pytest.raises(ConfigError):
+            perturbed_pair(8, 10, 64, 1, 0, 1, base="spiral")
+
+    def test_all_coordinates_in_grid(self):
+        pair = perturbed_pair(9, 100, 256, 3, true_k=10, noise=50)
+        for point in pair.alice + pair.bob:
+            assert all(0 <= c < 256 for c in point)
+
+
+class TestClusteredWorkloads:
+    def test_clustered_points_concentrate(self):
+        rng = random.Random(10)
+        points = clustered_points(rng, 300, 2**14, 2, clusters=3, spread=0.005)
+        # Mean pairwise spread should be far below uniform expectation.
+        sample = points[:60]
+        mean_dist = sum(
+            abs(a[0] - b[0]) + abs(a[1] - b[1])
+            for a in sample for b in sample
+        ) / (len(sample) ** 2)
+        assert mean_dist < 2**14  # uniform would be ~ 2/3 * 2 * delta/3 ~ 10900
+
+    def test_clustered_pair_shape(self):
+        pair = clustered_pair(11, 120, 2**12, 2, true_k=4, noise=2)
+        assert pair.name == "perturbed-clustered"
+        assert len(pair.alice) == 124
+
+    def test_cluster_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ConfigError):
+            clustered_points(rng, 10, 64, 2, clusters=0)
+
+
+class TestSensorPair:
+    def test_shape(self):
+        pair = sensor_pair(12, 100, 2**12, 2, sensor_noise=2.0, missed=3, ghosts=2)
+        assert len(pair.alice) == len(pair.bob) == 105
+        assert pair.true_k == 5
+
+    def test_zero_noise_objects_agree(self):
+        pair = sensor_pair(13, 50, 2**12, 2, sensor_noise=0.0, missed=0, ghosts=0)
+        assert sorted(pair.alice) == sorted(pair.bob)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            sensor_pair(14, -1, 64, 1, 1.0, 0, 0)
+        with pytest.raises(ConfigError):
+            sensor_pair(14, 10, 64, 1, -1.0, 0, 0)
+
+
+class TestGeoPair:
+    def test_shape_and_dimension(self):
+        pair = geo_pair(15, 200, 2**16, true_k=5, noise=3.0)
+        assert pair.dimension == 2
+        assert len(pair.alice) == 205
+
+    def test_zipf_concentration(self):
+        """The largest city should hold a disproportionate share."""
+        pair = geo_pair(16, 400, 2**16, true_k=0, noise=0.0, cities=8)
+        grid = ShiftedGridHierarchy(2**16, 2, seed=0)
+        level = 11  # ~city-sized cells
+        buckets = grid.bucket_points(pair.alice, level)
+        largest = max(len(b) for b in buckets.values())
+        assert largest > 400 / 8
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            geo_pair(17, 10, 64, 0, 0.0, cities=0)
+        with pytest.raises(ConfigError):
+            geo_pair(17, 10, 64, 0, 0.0, zipf_exponent=0)
+
+
+class TestBoundaryPair:
+    def test_points_on_boundaries(self):
+        pair = boundary_pair(18, 50, 2**12, 2, true_k=0, cell_width=64)
+        for point in pair.alice:
+            assert all(c % 64 == 0 or c == 2**12 - 1 for c in point)
+
+    def test_noise_is_tiny(self):
+        pair = boundary_pair(19, 50, 2**12, 2, true_k=0, cell_width=64)
+        for a, b in zip(pair.alice, pair.bob):
+            assert all(abs(x - y) <= 1 for x, y in zip(a, b))
+
+    def test_unshifted_grid_splits_many_pairs(self):
+        """The adversarial property: a zero-shift grid separates ~half of
+        the noisy pairs even though the noise is ±1."""
+        pair = boundary_pair(20, 200, 2**12, 2, true_k=0, cell_width=64)
+        level = 6  # cell side 64
+        unshifted = ShiftedGridHierarchy(2**12, 2, shift=(0, 0))
+        splits = sum(
+            1
+            for a, b in zip(pair.alice, pair.bob)
+            if unshifted.cell(a, level) != unshifted.cell(b, level)
+        )
+        assert splits > 50  # far more than noise/cell_side * n = ~3
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            boundary_pair(21, 10, 64, 1, 0, cell_width=3)
+        with pytest.raises(ConfigError):
+            boundary_pair(21, 10, 64, 1, 0, cell_width=64)
+
+
+class TestDeduplicate:
+    def test_removes_duplicates(self):
+        rng = random.Random(22)
+        points = [(1, 1), (1, 1), (2, 2)]
+        result = deduplicate(points, rng, 64)
+        assert len(set(result)) == 3
+
+    def test_preserves_distinct(self):
+        rng = random.Random(23)
+        points = [(1, 1), (2, 2)]
+        assert deduplicate(points, rng, 64) == points
