@@ -4,8 +4,15 @@ Normal environments should use ``pip install -e .``.  This file exists so
 that fully offline environments (no ``wheel`` package available, so PEP 660
 editable builds cannot run) can still install with
 ``python setup.py develop``.
+
+The core library is dependency-free; ``numpy`` is an optional extra that
+unlocks the vectorized IBLT backend (``pip install .[numpy]``).
 """
 
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        "numpy": ["numpy>=1.22"],
+    },
+)

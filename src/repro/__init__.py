@@ -17,11 +17,25 @@ Quickstart
 >>> len(result.repaired) == len(bob)
 True
 
+Backends
+--------
+IBLT cell storage is pluggable (:mod:`repro.iblt.backends`): the pure-Python
+reference (``"pure"``, always available) and a numpy-vectorized engine
+(``"numpy"``, an optional extra: ``pip install repro[numpy]``).  Select one
+with ``ProtocolConfig(backend=...)``, per table with ``IBLT(config,
+backend=...)``, or on the CLI with ``--backend``; the default ``"auto"``
+uses the fastest available engine and falls back to pure.  All backends are
+bit-compatible on the wire — the numpy one is ~an order of magnitude faster
+on batch work (sketch construction, subtract, decode) for large inputs.
+Custom engines register via
+:func:`repro.iblt.backends.register_backend`.
+
 See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
 reproduced evaluation.
 """
 
 from repro.core.adaptive import AdaptiveConfig, AdaptiveReconciler, reconcile_adaptive
+from repro.iblt.backends import available_backends, register_backend
 from repro.core.broadcast import BroadcastReport, broadcast_reconcile
 from repro.core.config import ProtocolConfig
 from repro.core.grid import ShiftedGridHierarchy
@@ -62,6 +76,8 @@ __all__ = [
     "ShiftedGridHierarchy",
     "SimulatedChannel",
     "Transcript",
+    "available_backends",
+    "register_backend",
     "emd",
     "emd_1d",
     "emd_k",

@@ -34,6 +34,7 @@ from repro.core.bounds import (
 from repro.core.config import ProtocolConfig
 from repro.core.protocol import reconcile
 from repro.errors import ReproError
+from repro.iblt.backends import available_backends, backend_names
 from repro.workloads.geo import geo_pair
 from repro.workloads.sensors import sensor_pair
 from repro.workloads.synthetic import clustered_pair, perturbed_pair
@@ -58,12 +59,18 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--noise", type=float, default=3.0)
     gen.add_argument("--seed", type=int, default=0)
 
+    backend_kwargs = dict(
+        choices=["auto"] + backend_names(), default="auto",
+        help="IBLT cell-storage backend (default: auto = fastest available)",
+    )
+
     rec = sub.add_parser("reconcile", help="reconcile Bob towards Alice")
     rec.add_argument("workload", type=Path, help="JSON from 'generate' (or same schema)")
     rec.add_argument("--k", type=int, default=16, help="budget parameter")
     rec.add_argument("--seed", type=int, default=0)
     rec.add_argument("--adaptive", action="store_true",
                      help="use the two-round adaptive protocol")
+    rec.add_argument("--backend", **backend_kwargs)
     rec.add_argument("--output", type=Path, default=None,
                      help="write the repaired set to this JSON path")
 
@@ -71,6 +78,7 @@ def _build_parser() -> argparse.ArgumentParser:
     est.add_argument("workload", type=Path)
     est.add_argument("--k", type=int, default=16)
     est.add_argument("--seed", type=int, default=0)
+    est.add_argument("--backend", **backend_kwargs)
 
     info = sub.add_parser("info", help="analytic predictions for a config")
     info.add_argument("--delta", type=int, default=2**16)
@@ -125,11 +133,12 @@ def cmd_reconcile(args) -> int:
     data = _load_workload(args.workload)
     config = ProtocolConfig(
         delta=data["delta"], dimension=data["dimension"], k=args.k,
-        seed=args.seed,
+        seed=args.seed, backend=args.backend,
     )
     runner = reconcile_adaptive if args.adaptive else reconcile
     result = runner(data["alice"], data["bob"], config)
     print(f"protocol : {'adaptive 2-round' if args.adaptive else 'one-round'}")
+    print(f"backend  : {config.backend}")
     print(f"message  : {result.transcript.describe()}")
     print(f"level    : {result.level} (cell side {2 ** result.level})")
     print(f"repair   : +{result.alice_surplus} centres, "
@@ -147,7 +156,7 @@ def cmd_estimate(args) -> int:
     data = _load_workload(args.workload)
     config = ProtocolConfig(
         delta=data["delta"], dimension=data["dimension"], k=args.k,
-        seed=args.seed,
+        seed=args.seed, backend=args.backend,
     )
     reconciler = AdaptiveReconciler(config)
     request = reconciler.bob_request(data["bob"])
@@ -177,6 +186,7 @@ def cmd_info(args) -> int:
     print(f"levels            : {len(config.sketch_levels)} "
           f"(0..{config.max_level})")
     print(f"cells per level   : {config.cells_per_level}")
+    print(f"backends          : {', '.join(available_backends())} available")
     print(f"one-round message : ~{one_round_bits_estimate(config)} bits")
     print(f"lower bound       : {lower_bound_bits(args.k, args.delta, args.dimension)} bits")
     print(f"approx factor     : <= {approximation_factor(args.dimension):.0f} "

@@ -195,7 +195,9 @@ class AdaptiveReconciler:
             level = reader.read_varint()
             cells = reader.read_varint()
             table_config = level_iblt_config(self.config, self.grid, level, cells)
-            window.append((level, IBLT.read_from(reader, table_config)))
+            window.append(
+                (level, IBLT.read_from(reader, table_config, backend=self.config.backend))
+            )
         reader.expect_end()
 
         probed: list[int] = []

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.emd.metrics import validate_metric
 from repro.errors import ConfigError
+from repro.iblt.backends import get_backend
 from repro.iblt.table import PEELING_THRESHOLDS, recommended_cells
 
 
@@ -54,6 +55,12 @@ class ProtocolConfig:
         ``False`` pins the grid shift to zero — the deterministic-quadtree
         ablation the analysis warns about (boundary-aligned noise defeats
         it); leave ``True`` outside of ablation studies.
+    backend:
+        IBLT cell-storage backend used for every table this run builds (see
+        :mod:`repro.iblt.backends`).  ``"auto"`` (default) picks the fastest
+        available engine per table and falls back to the pure-Python
+        reference; all backends are bit-compatible on the wire, so the two
+        parties may configure this independently.
     """
 
     delta: int
@@ -67,6 +74,7 @@ class ProtocolConfig:
     metric: str = "l1"
     levels: tuple[int, ...] | None = field(default=None)
     random_shift: bool = True
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.delta < 2:
@@ -92,6 +100,8 @@ class ProtocolConfig:
                 f"diff_margin must be >= 1, got {self.diff_margin}"
             )
         validate_metric(self.metric)
+        if self.backend != "auto":
+            get_backend(self.backend)  # raises ConfigError if unknown/unavailable
         if self.levels is not None:
             max_level = self.max_level
             for level in self.levels:

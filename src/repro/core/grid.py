@@ -23,6 +23,11 @@ from __future__ import annotations
 import random
 from typing import Iterable, Sequence
 
+try:  # numpy accelerates the batch key pass; everything works without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
 from repro.emd.metrics import Point
 from repro.errors import CapacityExceeded, ConfigError
 
@@ -96,6 +101,21 @@ class ShiftedGridHierarchy:
             (coordinate + offset) >> level
             for coordinate, offset in zip(point, self.shift)
         )
+
+    def cell_id(self, point: Point, level: int) -> int:
+        """Packed integer form of :meth:`cell` (the key's cell field).
+
+        Equals ``pack_key(self.cell(point, level), 0, level) >>
+        occupancy_bits``; incremental sketches index their per-cell counts
+        by it to avoid building coordinate tuples on the hot path.
+        """
+        self._check_level(level)
+        self._check_point(point)
+        bits = self.coord_bits(level)
+        packed = 0
+        for coordinate, offset in zip(point, self.shift):
+            packed = (packed << bits) | ((coordinate + offset) >> level)
+        return packed
 
     def center(self, cell: Cell, level: int) -> Point:
         """Centre of a cell, clamped back onto the grid.
@@ -199,9 +219,16 @@ class ShiftedGridHierarchy:
         bit-shifts.  Occurrence ranks follow the global sorted order, which
         restricted to any one cell is exactly the sorted-bucket order —
         identical keys to the per-level path, ~``len(levels)``× faster.
+
+        When numpy is available (and every requested key width fits an
+        int64) the whole pass — shift, sort, cell packing, occurrence
+        ranking — runs vectorized; the produced keys are identical.
         """
         for level in levels:
             self._check_level(level)
+        vectorized = self._level_keys_vectorized(points, levels)
+        if vectorized is not None:
+            return vectorized
         for point in points:
             self._check_point(point)
         shift = self.shift
@@ -228,6 +255,73 @@ class ShiftedGridHierarchy:
                 counts[cell_key] = occurrence + 1
                 keys.append((cell_key << occ_bits) | occurrence)
             result[level] = keys
+        return result
+
+    def _level_keys_vectorized(
+        self, points: Sequence[Point], levels: Sequence[int]
+    ) -> dict[int, list[int]] | None:
+        """numpy fast path of :meth:`level_keys`; ``None`` means "fall back".
+
+        Falls back (returning ``None``) when numpy is missing, the points
+        are not a clean integer ``(n, d)`` block, or a requested level's key
+        would overflow int64 — the pure path then either handles the input
+        or raises the canonical validation error.
+        """
+        if _np is None or len(points) == 0:
+            return None
+        if any(self.key_bits(level) > 63 for level in levels):
+            return None
+        if self.max_level > 62:
+            # Shifted coordinates need max_level + 1 bits (see coord_bits)
+            # and would overflow int64 before any per-level key check.
+            return None
+        try:
+            raw = _np.asarray(points)
+        except (ValueError, TypeError, OverflowError):
+            return None  # ragged / non-numeric: pure path raises properly
+        if raw.ndim != 2 or raw.shape[1] != self.dimension:
+            return None  # per-point dimension errors come from the pure path
+        if raw.dtype.kind not in "iu":
+            return None  # floats / objects: let the pure path handle them
+        array = raw.astype(_np.int64, copy=False)
+        if ((array < 0) | (array >= self.delta)).any():
+            bad = array[(array < 0) | (array >= self.delta)][0]
+            raise ConfigError(
+                f"coordinate {int(bad)} outside [0, {self.delta})"
+            )
+
+        shifted = array + _np.asarray(self.shift, dtype=_np.int64)
+        order = _np.lexsort(shifted.T[::-1])  # first coordinate is primary
+        shifted = shifted[order]
+        n = shifted.shape[0]
+        occ_bits = self.occupancy_bits
+        occ_limit = 1 << occ_bits
+        positions = _np.arange(n, dtype=_np.int64)
+        result: dict[int, list[int]] = {}
+        for level in levels:
+            bits = self.coord_bits(level)
+            cells = shifted >> level
+            cell_key = cells[:, 0].copy()
+            for column in range(1, self.dimension):
+                cell_key = (cell_key << bits) | cells[:, column]
+            # Occurrence rank = number of earlier points (in sorted order)
+            # sharing the cell.  Equal cells need not be adjacent, so group
+            # via a stable argsort of the group ids.
+            _, inverse = _np.unique(cell_key, return_inverse=True)
+            grouped = _np.argsort(inverse, kind="stable")
+            sorted_inverse = inverse[grouped]
+            starts = _np.flatnonzero(
+                _np.concatenate(([True], sorted_inverse[1:] != sorted_inverse[:-1]))
+            )
+            sizes = _np.diff(_np.append(starts, n))
+            ranks = _np.empty(n, dtype=_np.int64)
+            ranks[grouped] = positions - _np.repeat(starts, sizes)
+            if int(ranks.max()) >= occ_limit:
+                raise CapacityExceeded(
+                    f"more than {occ_limit} points share a level-{level} "
+                    "cell; raise occupancy_bits"
+                )
+            result[level] = ((cell_key << occ_bits) | ranks).tolist()
         return result
 
     def cell_diameter(self, level: int, metric: str = "l1") -> float:

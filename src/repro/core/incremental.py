@@ -15,6 +15,12 @@ So maintaining the full hierarchy costs ``O(log Δ)`` IBLT updates per point
 update, and the produced message is bit-identical to a from-scratch
 :meth:`~repro.core.protocol.HierarchicalReconciler.encode` of the same
 multiset.
+
+Bulk loads take a batch shortcut: when :meth:`IncrementalSketch.insert_all`
+is called on an empty sketch, the whole point set goes through the grid's
+single-pass key builder and each level's backend batch insert — the same
+vectorized path a from-scratch encode uses — before switching to per-point
+maintenance.
 """
 
 from __future__ import annotations
@@ -48,27 +54,40 @@ class IncrementalSketch:
         )
         self.n_points = 0
         self._tables: dict[int, IBLT] = {
-            level: IBLT(level_iblt_config(config, self.grid, level))
+            level: IBLT(
+                level_iblt_config(config, self.grid, level), backend=config.backend
+            )
             for level in config.sketch_levels
         }
-        self._cell_counts: dict[int, dict[tuple[int, ...], int]] = {
+        # Per-level point counts keyed by the *packed* integer cell id (the
+        # key's cell field) — cheaper than coordinate tuples on hot paths.
+        self._cell_counts: dict[int, dict[int, int]] = {
             level: {} for level in config.sketch_levels
         }
 
     def insert(self, point: Point) -> None:
-        """Add one point: one key per level."""
-        occ_limit = 1 << self.grid.occupancy_bits
-        for level, table in self._tables.items():
-            cell = self.grid.cell(point, level)
-            counts = self._cell_counts[level]
-            rank = counts.get(cell, 0)
-            if rank >= occ_limit:
+        """Add one point: one key per level.
+
+        Validates every level's occupancy before touching any table, so a
+        ``CapacityExceeded`` leaves the sketch unchanged.
+        """
+        occ_bits = self.grid.occupancy_bits
+        occ_limit = 1 << occ_bits
+        cell_ids = {
+            level: self.grid.cell_id(point, level) for level in self._tables
+        }
+        for level, cell_id in cell_ids.items():
+            if self._cell_counts[level].get(cell_id, 0) >= occ_limit:
                 raise CapacityExceeded(
-                    f"cell {cell} at level {level} exceeds the "
-                    f"{self.grid.occupancy_bits}-bit occupancy field"
+                    f"cell {self.grid.cell(point, level)} at level {level} "
+                    f"exceeds the {occ_bits}-bit occupancy field"
                 )
-            table.insert(self.grid.pack_key(cell, rank, level))
-            counts[cell] = rank + 1
+        for level, table in self._tables.items():
+            cell_id = cell_ids[level]
+            counts = self._cell_counts[level]
+            rank = counts.get(cell_id, 0)
+            table.insert((cell_id << occ_bits) | rank)
+            counts[cell_id] = rank + 1
         self.n_points += 1
 
     def remove(self, point: Point) -> None:
@@ -78,27 +97,53 @@ class IncrementalSketch:
         each of the point's cells is exactly removing this point from the
         sketch's perspective.
         """
-        for level in self._tables:
-            cell = self.grid.cell(point, level)
-            if self._cell_counts[level].get(cell, 0) <= 0:
+        occ_bits = self.grid.occupancy_bits
+        cell_ids = {
+            level: self.grid.cell_id(point, level) for level in self._tables
+        }
+        for level, cell_id in cell_ids.items():
+            if self._cell_counts[level].get(cell_id, 0) <= 0:
                 raise ReconciliationFailure(
-                    f"remove of {point}: cell {cell} at level {level} is empty"
+                    f"remove of {point}: cell {self.grid.cell(point, level)} "
+                    f"at level {level} is empty"
                 )
         for level, table in self._tables.items():
-            cell = self.grid.cell(point, level)
+            cell_id = cell_ids[level]
             counts = self._cell_counts[level]
-            rank = counts[cell] - 1
-            table.delete(self.grid.pack_key(cell, rank, level))
+            rank = counts[cell_id] - 1
+            table.delete((cell_id << occ_bits) | rank)
             if rank == 0:
-                del counts[cell]
+                del counts[cell_id]
             else:
-                counts[cell] = rank
+                counts[cell_id] = rank
         self.n_points -= 1
 
     def insert_all(self, points) -> None:
-        """Insert every point of an iterable."""
+        """Insert every point of an iterable.
+
+        An initial load into an empty sketch runs as one batch — a single
+        grid pass plus one backend batch insert per level; later calls fall
+        back to per-point maintenance.
+        """
+        points = list(points)
+        if self.n_points == 0 and points:
+            self._bulk_load(points)
+            return
         for point in points:
             self.insert(point)
+
+    def _bulk_load(self, points: list[Point]) -> None:
+        keys_by_level = self.grid.level_keys(points, tuple(self._tables))
+        occ_bits = self.grid.occupancy_bits
+        for level, table in self._tables.items():
+            keys = keys_by_level[level]
+            table.insert_many(keys)
+            counts: dict[int, int] = {}
+            for key in keys:
+                cell_id = key >> occ_bits
+                counts[cell_id] = counts.get(cell_id, 0) + 1
+            self._cell_counts[level] = counts
+        self.n_points = len(points)
 
     def encode(self) -> bytes:
         """The current one-round message (bit-identical to a fresh encode)."""

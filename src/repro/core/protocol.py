@@ -26,7 +26,11 @@ from dataclasses import dataclass, field
 from repro.core.config import ProtocolConfig
 from repro.core.grid import ShiftedGridHierarchy
 from repro.core.repair import RepairPlan, apply_repair, plan_repair
-from repro.core.sketch import HierarchySketch, LevelSketch, level_iblt_config
+from repro.core.sketch import (
+    HierarchySketch,
+    build_level_sketches,
+    level_iblt_config,
+)
 from repro.emd.metrics import Point
 from repro.errors import ReconciliationFailure
 from repro.iblt.decode import DecodeResult, decode
@@ -85,18 +89,16 @@ class HierarchicalReconciler:
 
     def level_table(self, points: list[Point], level: int, cells: int | None = None) -> IBLT:
         """Build one level's IBLT over a point multiset."""
-        table = IBLT(level_iblt_config(self.config, self.grid, level, cells))
-        table.insert_all(self.grid.keys_for(points, level))
+        table = IBLT(
+            level_iblt_config(self.config, self.grid, level, cells),
+            backend=self.config.backend,
+        )
+        table.insert_many(self.grid.keys_for(points, level))
         return table
 
     def encode(self, points: list[Point]) -> bytes:
         """Alice's single message: every sketched level, finest first."""
-        keys_by_level = self.grid.level_keys(points, self.config.sketch_levels)
-        level_sketches = []
-        for level in self.config.sketch_levels:
-            table = IBLT(level_iblt_config(self.config, self.grid, level))
-            table.insert_all(keys_by_level[level])
-            level_sketches.append(LevelSketch(level, table))
+        level_sketches = build_level_sketches(self.config, self.grid, points)
         sketch = HierarchySketch(n_points=len(points), levels=level_sketches)
         return sketch.to_bytes()
 

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 from repro.core.config import ProtocolConfig
 from repro.core.grid import ShiftedGridHierarchy
-from repro.errors import SerializationError
+from repro.errors import ConfigError, SerializationError
 from repro.iblt.hashing import hash_with_salt
 from repro.iblt.table import IBLT, IBLTConfig
 from repro.net.bits import BitReader, BitWriter
@@ -34,8 +34,15 @@ def level_iblt_config(
     config: ProtocolConfig, grid: ShiftedGridHierarchy, level: int, cells: int | None = None
 ) -> IBLTConfig:
     """The (derived, never transmitted) IBLT config of one grid level."""
+    resolved_cells = cells if cells is not None else config.cells_per_level
+    if resolved_cells <= 0:
+        # Catch bad sizing here, with a protocol-level message, instead of
+        # deep inside a backend's array allocation.
+        raise ConfigError(
+            f"level {level} IBLT needs a positive cell count, got {resolved_cells}"
+        )
     return IBLTConfig(
-        cells=cells if cells is not None else config.cells_per_level,
+        cells=resolved_cells,
         q=config.q,
         key_bits=grid.key_bits(level),
         checksum_bits=config.checksum_bits,
@@ -49,6 +56,33 @@ class LevelSketch:
 
     level: int
     table: IBLT
+
+
+def build_level_sketches(
+    config: ProtocolConfig,
+    grid: ShiftedGridHierarchy,
+    points,
+    cells_by_level: dict[int, int] | None = None,
+) -> list[LevelSketch]:
+    """Build every sketched level's IBLT from one pass over the points.
+
+    The grid hashes all points into their per-level keys in a single batch
+    (vectorized when numpy is available), then each level's table ingests
+    its key vector through the backend's batch path — the hot loop of the
+    whole protocol, and the reason :class:`ProtocolConfig` carries a
+    ``backend`` selection.
+    """
+    levels = config.sketch_levels
+    keys_by_level = grid.level_keys(points, levels)
+    sketches = []
+    for level in levels:
+        cells = cells_by_level.get(level) if cells_by_level else None
+        table = IBLT(
+            level_iblt_config(config, grid, level, cells), backend=config.backend
+        )
+        table.insert_many(keys_by_level[level])
+        sketches.append(LevelSketch(level, table))
+    return sketches
 
 
 @dataclass
@@ -101,6 +135,11 @@ class HierarchySketch:
                 raise SerializationError(f"level {level} out of range")
             cells = cells_by_level.get(level) if cells_by_level else None
             table_config = level_iblt_config(config, grid, level, cells)
-            levels.append(LevelSketch(level, IBLT.read_from(reader, table_config)))
+            levels.append(
+                LevelSketch(
+                    level,
+                    IBLT.read_from(reader, table_config, backend=config.backend),
+                )
+            )
         reader.expect_end()
         return cls(n_points=n_points, levels=levels)

@@ -6,8 +6,9 @@ Two interchangeable engines:
   (:mod:`repro.emd.flow`); transparent, no dependencies beyond the repo.
 * ``backend="scipy"`` — ``scipy.optimize.linear_sum_assignment`` (C speed);
   used at benchmark scale.
-* ``backend="auto"`` — scipy above a small size cutoff, flow below
-  (keeping the reference implementation continuously exercised).
+* ``backend="auto"`` — scipy above a small size cutoff when installed,
+  flow below (keeping the reference implementation continuously exercised)
+  and everywhere when scipy is absent.
 
 Both produce the same optimum; the test suite asserts agreement.
 """
@@ -16,14 +17,24 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-from scipy.optimize import linear_sum_assignment
+try:  # optional accelerator; the flow backend is dependency-free
+    from scipy.optimize import linear_sum_assignment
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    linear_sum_assignment = None
 
 from repro.emd.flow import MinCostFlow
 from repro.emd.metrics import Point, pairwise_costs, validate_metric
 from repro.errors import ConfigError
 
 _AUTO_CUTOFF = 40
+
+
+def _require_scipy() -> None:
+    if linear_sum_assignment is None:
+        raise ConfigError(
+            "backend 'scipy' requires scipy, which is not installed; "
+            "use backend='flow' or 'auto'"
+        )
 
 
 def _validate_equal_sizes(xs: Sequence[Point], ys: Sequence[Point]) -> None:
@@ -51,15 +62,19 @@ def min_cost_matching(
     n = len(xs)
     if n == 0:
         return [], 0.0
+    if backend == "scipy":
+        _require_scipy()
     costs = pairwise_costs(xs, ys, metric)
-    if backend == "scipy" or (backend == "auto" and n > _AUTO_CUTOFF):
+    if backend == "scipy" or (
+        backend == "auto" and n > _AUTO_CUTOFF and linear_sum_assignment is not None
+    ):
         rows, cols = linear_sum_assignment(costs)
         total = float(costs[rows, cols].sum())
         return list(zip(rows.tolist(), cols.tolist())), total
     return _matching_by_flow(costs)
 
 
-def _matching_by_flow(costs: np.ndarray) -> tuple[list[tuple[int, int]], float]:
+def _matching_by_flow(costs) -> tuple[list[tuple[int, int]], float]:
     n = costs.shape[0]
     source = 2 * n
     sink = 2 * n + 1

@@ -1,17 +1,22 @@
 """Point metrics on the integer grid ``[Δ]^d``.
 
 Points are tuples of integers (one tuple per point).  All public functions
-accept any sequence of such tuples; distance computations convert to numpy
-float arrays internally.
+accept any sequence of such tuples; dense cost matrices use numpy when it
+is installed and a pure-Python fallback otherwise, so the protocol core
+stays importable without any scientific stack.
 
 Supported metrics: ``"l1"`` (the paper's default), ``"l2"``, ``"linf"``.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
-import numpy as np
+try:  # optional: only dense cost matrices benefit from numpy
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
 
 from repro.errors import ConfigError
 
@@ -59,19 +64,43 @@ def distance(a: Point, b: Point, metric: str = "l1") -> float:
         return float(sum(deltas))
     if metric == "linf":
         return float(max(deltas)) if deltas else 0.0
-    return float(np.sqrt(sum(d * d for d in deltas)))
+    return math.sqrt(sum(d * d for d in deltas))
 
 
-def pairwise_costs(
-    xs: Sequence[Point], ys: Sequence[Point], metric: str = "l1"
-) -> np.ndarray:
-    """Dense ``len(xs) × len(ys)`` cost matrix under the metric."""
+class DenseCosts:
+    """Minimal 2-D float matrix: the numpy-free ``pairwise_costs`` result.
+
+    Supports exactly what the pure flow solvers consume — ``shape`` and
+    ``matrix[i, j]`` indexing.
+    """
+
+    __slots__ = ("shape", "_rows")
+
+    def __init__(self, rows: list[list[float]], n_cols: int):
+        self._rows = rows
+        self.shape = (len(rows), n_cols)
+
+    def __getitem__(self, index: tuple[int, int]) -> float:
+        row, col = index
+        return self._rows[row][col]
+
+
+def pairwise_costs(xs: Sequence[Point], ys: Sequence[Point], metric: str = "l1"):
+    """Dense ``len(xs) × len(ys)`` cost matrix under the metric.
+
+    Returns an ``np.ndarray`` when numpy is installed, else a
+    :class:`DenseCosts` with the same indexing interface.
+    """
     validate_metric(metric)
     validate_points(xs, name="xs")
     validate_points(ys, name="ys")
     if xs and ys and len(xs[0]) != len(ys[0]):
         raise ConfigError(
             f"dimension mismatch: {len(xs[0])} vs {len(ys[0])}"
+        )
+    if np is None:
+        return DenseCosts(
+            [[distance(x, y, metric) for y in ys] for x in xs], len(ys)
         )
     if not xs or not ys:
         return np.zeros((len(xs), len(ys)))
@@ -95,4 +124,4 @@ def diameter(delta: int, dimension: int, metric: str = "l1") -> float:
         return side * dimension
     if metric == "linf":
         return side
-    return side * float(np.sqrt(dimension))
+    return side * math.sqrt(dimension)

@@ -17,10 +17,15 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-from scipy.optimize import linear_sum_assignment
+try:  # optional accelerator; the flow backend is dependency-free
+    import numpy as np
+    from scipy.optimize import linear_sum_assignment
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
+    linear_sum_assignment = None
 
 from repro.emd.flow import MinCostFlow
+from repro.emd.matching import _require_scipy
 from repro.emd.metrics import Point, pairwise_costs, validate_metric
 from repro.errors import ConfigError
 
@@ -61,13 +66,17 @@ def emd_k(
         from repro.emd.matching import emd
 
         return emd(xs, ys, metric, backend)
+    if backend == "scipy":
+        _require_scipy()
     costs = pairwise_costs(xs, ys, metric)
-    if backend == "scipy" or (backend == "auto" and n > _AUTO_CUTOFF):
+    if backend == "scipy" or (
+        backend == "auto" and n > _AUTO_CUTOFF and linear_sum_assignment is not None
+    ):
         return _emd_k_scipy(costs, k)
     return _emd_k_flow(costs, k, n)
 
 
-def _emd_k_scipy(costs: np.ndarray, k: int) -> float:
+def _emd_k_scipy(costs, k: int) -> float:
     n = costs.shape[0]
     padded = np.zeros((n + k, n + k))
     padded[:n, :n] = costs
@@ -77,7 +86,7 @@ def _emd_k_scipy(costs: np.ndarray, k: int) -> float:
     return float(padded[rows, cols].sum())
 
 
-def _emd_k_flow(costs: np.ndarray, k: int, n: int) -> float:
+def _emd_k_flow(costs, k: int, n: int) -> float:
     """Reference path: push exactly n - k units through the bipartite graph.
 
     Successive-shortest-path flows are optimal at every intermediate value,

@@ -1,0 +1,132 @@
+"""Pluggable IBLT cell-storage backends.
+
+The IBLT facade (:class:`repro.iblt.table.IBLT`) delegates all cell storage
+and mutation to a :class:`~repro.iblt.backends.base.Backend`.  Two ship with
+the library:
+
+``pure``
+    The list-based pure-Python reference — always available, defines the
+    semantics (:class:`~repro.iblt.backends.pure.PureBackend`).
+``numpy``
+    Vectorized batch updates over contiguous ``uint64`` arrays — requires
+    numpy and keys at most 64 bits wide
+    (:class:`~repro.iblt.backends.vector.NumpyBackend`).
+
+Selection is by name: ``IBLT(config, backend="numpy")``, or protocol-wide
+via ``ProtocolConfig(backend=...)`` / the CLI's ``--backend`` flag.  The
+name ``"auto"`` picks the fastest available backend that supports the
+table's shape, falling back to ``pure``.
+
+Third-party backends register themselves::
+
+    from repro.iblt.backends import Backend, register_backend
+
+    @register_backend
+    class MyBackend(Backend):
+        name = "mine"
+        ...
+
+after which ``backend="mine"`` works everywhere a backend name is accepted.
+All backends must be bit-compatible with the reference (see the
+:class:`Backend` docstring); run ``tests/test_backend_differential.py``
+against a new backend before trusting it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.iblt.backends.base import Backend
+from repro.iblt.backends.pure import PureBackend
+from repro.iblt.backends.vector import NumpyBackend
+
+#: Fallback / reference backend name.
+DEFAULT_BACKEND = "pure"
+
+#: ``"auto"`` tries these in order and takes the first available backend
+#: that supports the table's config.
+AUTO_PREFERENCE = ("numpy", "pure")
+
+_REGISTRY: dict[str, type[Backend]] = {}
+
+
+def register_backend(cls: type[Backend]) -> type[Backend]:
+    """Register a backend class under ``cls.name`` (usable as a decorator)."""
+    name = getattr(cls, "name", None)
+    if not isinstance(name, str) or not name or name == "auto":
+        raise ConfigError(
+            f"backend class {cls.__name__} needs a non-empty string "
+            "'name' attribute (and 'auto' is reserved)"
+        )
+    _REGISTRY[name] = cls
+    return cls
+
+
+def backend_names() -> list[str]:
+    """Every registered backend name, sorted (available or not)."""
+    return sorted(_REGISTRY)
+
+
+def available_backends() -> list[str]:
+    """Registered backends whose dependencies are importable, sorted."""
+    return [name for name in sorted(_REGISTRY) if _REGISTRY[name].available()]
+
+
+def get_backend(name: str) -> type[Backend]:
+    """Look up a registered backend class by name.
+
+    Raises :class:`~repro.errors.ConfigError` for unknown names and for
+    backends whose dependencies are missing.
+    """
+    if name not in _REGISTRY:
+        raise ConfigError(
+            f"unknown IBLT backend {name!r}; registered backends: "
+            f"{', '.join(backend_names())} (or 'auto')"
+        )
+    cls = _REGISTRY[name]
+    if not cls.available():
+        raise ConfigError(
+            f"IBLT backend {name!r} is registered but not available "
+            "(missing optional dependency?)"
+        )
+    return cls
+
+
+def resolve_backend(name: str | None, config) -> type[Backend]:
+    """Resolve a backend *name* to a class for a concrete table config.
+
+    ``None`` / ``"auto"`` return the first entry of :data:`AUTO_PREFERENCE`
+    that is available and supports ``config``; an explicit name resolves
+    strictly and raises :class:`~repro.errors.ConfigError` when that backend
+    cannot host the config (better a loud failure than a silent fallback).
+    """
+    if name is None or name == "auto":
+        for candidate in AUTO_PREFERENCE:
+            cls = _REGISTRY.get(candidate)
+            if cls is not None and cls.available() and cls.supports(config):
+                return cls
+        return _REGISTRY[DEFAULT_BACKEND]
+    cls = get_backend(name)
+    if not cls.supports(config):
+        raise ConfigError(
+            f"IBLT backend {name!r} does not support this table shape "
+            f"(cells={config.cells}, key_bits={config.key_bits}); "
+            "use backend='auto' to fall back automatically"
+        )
+    return cls
+
+
+register_backend(PureBackend)
+register_backend(NumpyBackend)
+
+__all__ = [
+    "AUTO_PREFERENCE",
+    "Backend",
+    "DEFAULT_BACKEND",
+    "NumpyBackend",
+    "PureBackend",
+    "available_backends",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+]

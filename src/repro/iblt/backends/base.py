@@ -1,0 +1,146 @@
+"""The backend contract: storage + mutation engine behind an IBLT.
+
+A backend owns the three cell arrays (``count`` / ``keySum`` / ``checkSum``)
+and performs every mutation over them; the :class:`~repro.iblt.table.IBLT`
+facade keeps the wire format and the protocol-facing API.  Splitting the two
+lets a vectorized (or, later, multi-process / native) engine slot in under
+the protocol without touching any caller.
+
+Every backend must be **bit-compatible**: for any sequence of operations the
+produced cell contents — and therefore the serialized bytes and every decode
+outcome — must be identical across backends.  The reference semantics are
+those of :class:`~repro.iblt.backends.pure.PureBackend`;
+``tests/test_backend_differential.py`` enforces the equivalence.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar, Iterator, Sequence
+
+from repro.iblt.hashing import splitmix64
+
+
+class Backend(abc.ABC):
+    """Cell storage and mutation engine for one IBLT instance.
+
+    Parameters
+    ----------
+    config:
+        The table's :class:`~repro.iblt.table.IBLTConfig`; backends derive
+        their hash constants from it exactly as the reference does, so cell
+        placement and checksums agree bit-for-bit.
+    """
+
+    #: Registry key; subclasses must override (e.g. ``"pure"``, ``"numpy"``).
+    name: ClassVar[str]
+
+    def __init__(self, config):
+        self.config = config
+        # Shared-mix checksum constants (same values checksum64 computes).
+        self._check_premix = splitmix64(config.seed ^ 0xC0FFEE)
+        self._check_mask = (1 << config.checksum_bits) - 1
+
+    # ------------------------------------------------------------ capability
+
+    @classmethod
+    def available(cls) -> bool:
+        """True when this backend's dependencies are importable."""
+        return True
+
+    @classmethod
+    def supports(cls, config) -> bool:
+        """True when this backend can host tables of this shape.
+
+        ``resolve_backend("auto", ...)`` skips backends whose ``supports``
+        returns False (e.g. the numpy backend with keys wider than 64 bits).
+        """
+        return True
+
+    # ------------------------------------------------------------- mutation
+
+    @abc.abstractmethod
+    def apply(self, key: int, delta: int) -> None:
+        """Insert (``delta=+1``) or delete (``-1``) a single key."""
+
+    @abc.abstractmethod
+    def apply_batch(self, keys: Sequence[int], delta: int) -> None:
+        """Insert or delete a whole batch of keys.
+
+        Must be equivalent to ``for key in keys: self.apply(key, delta)``
+        (duplicates included); batches may be empty or larger than the
+        table.  Keys are validated exactly like single-key updates.
+        """
+
+    @abc.abstractmethod
+    def subtract(self, other: "Backend") -> "Backend":
+        """Cell-wise ``self - other`` into a fresh backend of this class.
+
+        ``other`` is guaranteed to be the same class with an equal config
+        (the IBLT facade converts foreign backends first).
+        """
+
+    @abc.abstractmethod
+    def copy(self) -> "Backend":
+        """Deep copy (the decoder peels destructively)."""
+
+    @abc.abstractmethod
+    def load_rows(
+        self,
+        counts: Sequence[int],
+        key_sums: Sequence[int],
+        check_sums: Sequence[int],
+    ) -> None:
+        """Overwrite all cells from parallel sequences (deserialisation)."""
+
+    # -------------------------------------------------------------- reading
+
+    @abc.abstractmethod
+    def cell(self, index: int) -> tuple[int, int, int]:
+        """``(count, key_sum, check_sum)`` of one cell, as Python ints."""
+
+    @abc.abstractmethod
+    def rows(self) -> Iterator[tuple[int, int, int]]:
+        """All cells in index order, as Python-int triples (serialisation)."""
+
+    @abc.abstractmethod
+    def is_empty(self) -> bool:
+        """True when every cell is zero."""
+
+    @abc.abstractmethod
+    def nonzero_cells(self) -> int:
+        """Number of cells with any nonzero field."""
+
+    # ------------------------------------------------------------- peeling
+
+    def cell_is_pure(self, index: int) -> int:
+        """``+1``/``-1`` if the cell holds exactly one checksum-verified key
+        from the corresponding side, else ``0``."""
+        count, key, check = self.cell(index)
+        if count not in (1, -1):
+            return 0
+        expected = splitmix64(self._check_premix ^ splitmix64(key)) & self._check_mask
+        return count if check == expected else 0
+
+    def pure_cells(self) -> list[int]:
+        """Indices of all pure cells, ascending (the decoder's seed stack).
+
+        Backends may override with a batch scan; the result order is part
+        of the contract (it fixes the peel order across backends).
+        """
+        return [i for i in range(self.config.cells) if self.cell_is_pure(i)]
+
+    # ----------------------------------------------------------- validation
+
+    def _check_key(self, key: int) -> None:
+        """Reject negative or over-wide keys with the reference messages."""
+        if key < 0:
+            raise ValueError(f"keys must be non-negative, got {key}")
+        if key.bit_length() > self.config.key_bits:
+            raise ValueError(
+                f"key {key} exceeds configured key width "
+                f"({key.bit_length()} > {self.config.key_bits} bits)"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(cells={self.config.cells})"

@@ -1,0 +1,213 @@
+"""The numpy-vectorized backend: batch cell mutation over uint64 arrays.
+
+Cells live in three contiguous arrays (``int64`` counts, ``uint64`` key and
+checksum XOR accumulators).  Batch updates hash the whole key vector through
+a vectorized splitmix64 and scatter with unbuffered ufuncs (``np.add.at`` /
+``np.bitwise_xor.at``), so duplicate cell indices within one batch accumulate
+exactly like sequential single-key updates.
+
+The backend is bit-compatible with :class:`~repro.iblt.backends.pure.
+PureBackend` — same cell placement, same checksums, same serialized bytes —
+but only for keys at most 64 bits wide (``supports`` reports this, and
+``"auto"`` resolution falls back to the pure backend for wider keys).
+
+numpy is an optional dependency: importing this module without numpy
+installed works, constructing the backend does not.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+try:  # soft dependency: the library must import (and run) without numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
+from repro.errors import ConfigError
+from repro.iblt.backends.base import Backend
+from repro.iblt.hashing import _GOLDEN, _MIX1, _MIX2, splitmix64
+
+if _np is not None:
+    _U64 = _np.uint64
+    _C_GOLDEN = _U64(_GOLDEN)
+    _C_MIX1 = _U64(_MIX1)
+    _C_MIX2 = _U64(_MIX2)
+    _S30, _S27, _S31 = _U64(30), _U64(27), _U64(31)
+
+
+def _splitmix64_vec(values: "_np.ndarray") -> "_np.ndarray":
+    """Vectorized :func:`repro.iblt.hashing.splitmix64` over uint64 arrays.
+
+    uint64 arithmetic wraps mod 2^64, matching the reference's explicit
+    masking.
+    """
+    z = values + _C_GOLDEN
+    z = (z ^ (z >> _S30)) * _C_MIX1
+    z = (z ^ (z >> _S27)) * _C_MIX2
+    return z ^ (z >> _S31)
+
+
+class NumpyBackend(Backend):
+    """Contiguous-array cell engine with vectorized batch updates."""
+
+    name = "numpy"
+
+    def __init__(self, config):
+        if _np is None:
+            raise ConfigError(
+                "the 'numpy' IBLT backend requires numpy, which is not "
+                "installed; use backend='pure' (or 'auto')"
+            )
+        if config.key_bits > 64:
+            raise ConfigError(
+                f"the 'numpy' IBLT backend stores keys in uint64 cells and "
+                f"cannot host key_bits={config.key_bits}; use backend='pure' "
+                "(or 'auto')"
+            )
+        super().__init__(config)
+        self.counts = _np.zeros(config.cells, dtype=_np.int64)
+        self.key_sums = _np.zeros(config.cells, dtype=_U64)
+        self.check_sums = _np.zeros(config.cells, dtype=_U64)
+        family = config.hash_family()
+        self._partition = config.cells // config.q
+        self._premixed = family.premixed_salts  # python ints (scalar path)
+        self._premixed_vec = _np.array(family.premixed_salts, dtype=_U64)
+        self._premix_u64 = _U64(self._check_premix)
+        self._mask_u64 = _U64(self._check_mask)
+
+    @classmethod
+    def available(cls) -> bool:
+        return _np is not None
+
+    @classmethod
+    def supports(cls, config) -> bool:
+        return cls.available() and config.key_bits <= 64
+
+    # ----------------------------------------------------------- key intake
+
+    def _as_key_array(self, keys) -> "_np.ndarray":
+        """Validate a batch and return it as a uint64 array.
+
+        Rejections raise the same ``ValueError`` as the reference backend's
+        per-key check.
+        """
+        if isinstance(keys, _np.ndarray):
+            if keys.dtype.kind not in "ui":
+                raise ValueError(
+                    f"keys must be an integer array, got dtype {keys.dtype}"
+                )
+            if keys.dtype.kind == "i" and keys.size and keys.min() < 0:
+                self._check_key(int(keys.min()))  # raises "non-negative"
+            arr = keys.astype(_U64, copy=False)
+        else:
+            # Check negatives up front: NumPy 1.x silently wraps negative
+            # Python ints into uint64 instead of raising like 2.x does.
+            if len(keys) and min(keys) < 0:
+                self._check_key(int(min(keys)))  # raises "non-negative"
+            try:
+                arr = _np.asarray(keys, dtype=_U64)
+            except (OverflowError, ValueError, TypeError):
+                # A key did not fit uint64 (negative or >= 2^64); re-run the
+                # reference validation to raise the exact per-key error.
+                for key in keys:
+                    self._check_key(int(key))
+                raise  # pragma: no cover - the loop above must have raised
+        key_bits = self.config.key_bits
+        if key_bits < 64 and arr.size:
+            oversized = arr >> _U64(key_bits)
+            if oversized.any():
+                self._check_key(int(arr[oversized != 0][0]))  # raises "width"
+        return arr
+
+    # ------------------------------------------------------------- mutation
+
+    def apply(self, key: int, delta: int) -> None:
+        # Scalar path (peeling, incremental updates): plain-int hashing is
+        # faster than spinning up array machinery for one key.
+        self._check_key(key)
+        key_mix = splitmix64(key)
+        check = splitmix64(self._check_premix ^ key_mix) & self._check_mask
+        partition = self._partition
+        counts, key_sums, check_sums = self.counts, self.key_sums, self.check_sums
+        key_u64, check_u64 = _U64(key), _U64(check)
+        for i, premixed in enumerate(self._premixed):
+            index = i * partition + splitmix64(premixed ^ key_mix) % partition
+            counts[index] += delta
+            key_sums[index] ^= key_u64
+            check_sums[index] ^= check_u64
+
+    def apply_batch(self, keys: Sequence[int], delta: int) -> None:
+        arr = self._as_key_array(keys)
+        if arr.size == 0:
+            return
+        key_mix = _splitmix64_vec(arr)
+        checks = _splitmix64_vec(self._premix_u64 ^ key_mix) & self._mask_u64
+        partition = _U64(self._partition)
+        for i in range(self.config.q):
+            indices = (
+                (_splitmix64_vec(self._premixed_vec[i] ^ key_mix) % partition)
+                .astype(_np.intp)
+            )
+            indices += i * self._partition
+            # Unbuffered scatter: duplicate indices accumulate sequentially.
+            _np.add.at(self.counts, indices, delta)
+            _np.bitwise_xor.at(self.key_sums, indices, arr)
+            _np.bitwise_xor.at(self.check_sums, indices, checks)
+
+    def subtract(self, other: "NumpyBackend") -> "NumpyBackend":
+        result = NumpyBackend(self.config)
+        _np.subtract(self.counts, other.counts, out=result.counts)
+        _np.bitwise_xor(self.key_sums, other.key_sums, out=result.key_sums)
+        _np.bitwise_xor(self.check_sums, other.check_sums, out=result.check_sums)
+        return result
+
+    def copy(self) -> "NumpyBackend":
+        clone = NumpyBackend(self.config)
+        clone.counts = self.counts.copy()
+        clone.key_sums = self.key_sums.copy()
+        clone.check_sums = self.check_sums.copy()
+        return clone
+
+    def load_rows(self, counts, key_sums, check_sums) -> None:
+        self.counts = _np.array([int(c) for c in counts], dtype=_np.int64)
+        self.key_sums = _np.array([int(k) for k in key_sums], dtype=_U64)
+        self.check_sums = _np.array([int(s) for s in check_sums], dtype=_U64)
+
+    # -------------------------------------------------------------- reading
+
+    def cell(self, index: int) -> tuple[int, int, int]:
+        return (
+            int(self.counts[index]),
+            int(self.key_sums[index]),
+            int(self.check_sums[index]),
+        )
+
+    def rows(self) -> Iterator[tuple[int, int, int]]:
+        return zip(
+            self.counts.tolist(), self.key_sums.tolist(), self.check_sums.tolist()
+        )
+
+    def is_empty(self) -> bool:
+        return not (
+            self.counts.any() or self.key_sums.any() or self.check_sums.any()
+        )
+
+    def nonzero_cells(self) -> int:
+        return int(
+            ((self.counts != 0) | (self.key_sums != 0) | (self.check_sums != 0)).sum()
+        )
+
+    # ------------------------------------------------------------- peeling
+
+    def pure_cells(self) -> list[int]:
+        candidates = _np.flatnonzero(_np.abs(self.counts) == 1)
+        if candidates.size == 0:
+            return []
+        keys = self.key_sums[candidates]
+        expected = (
+            _splitmix64_vec(self._premix_u64 ^ _splitmix64_vec(keys))
+            & self._mask_u64
+        )
+        verified = candidates[self.check_sums[candidates] == expected]
+        return verified.tolist()

@@ -78,7 +78,9 @@ def decode(table: IBLT, *, max_items: int | None = None) -> DecodeResult:
     work = table.copy()
     result = DecodeResult(success=False)
 
-    stack = [i for i in range(work.config.cells) if work.cell_is_pure(i)]
+    # Batch scan (vectorized on array backends); ascending order fixes the
+    # peel order identically across backends.
+    stack = work.pure_cells()
     seen_pure = set(stack)
 
     while stack:
@@ -87,7 +89,7 @@ def decode(table: IBLT, *, max_items: int | None = None) -> DecodeResult:
         sign = work.cell_is_pure(index)
         if sign == 0:
             continue  # became impure/empty since queued
-        key = work.key_sums[index]
+        key = work.cell(index)[1]
         if sign > 0:
             result.alice_keys.append(key)
             work.delete(key)

@@ -97,6 +97,16 @@ class HashFamily:
         # plus one per index (identical outputs to hash_with_salt).
         self._premixed = tuple(splitmix64(salt) for salt in self._salts)
 
+    @property
+    def premixed_salts(self) -> tuple[int, ...]:
+        """The per-function pre-mixed salts (``splitmix64`` of each salt).
+
+        Index ``i`` of a key is ``i * (cells // q) +
+        splitmix64(premixed_salts[i] ^ splitmix64(key)) % (cells // q)``;
+        vectorized backends reproduce cell placement from these constants.
+        """
+        return self._premixed
+
     def indices(self, key: int) -> tuple[int, ...]:
         """Return the ``q`` distinct cell indices of ``key``."""
         return self.indices_from_mix(splitmix64(key))

@@ -17,6 +17,13 @@ Difference Digest of Eppstein et al. (2011):
     XOR of a salted checksum of each key; guards peeling against cells whose
     ``count`` is ±1 only by coincidence.
 
+Cell storage and mutation live in a pluggable backend (see
+:mod:`repro.iblt.backends`): ``IBLT(config)`` uses the pure-Python reference,
+``IBLT(config, backend="numpy")`` the vectorized engine, and
+``backend="auto"`` the fastest available one.  All backends are
+bit-compatible, so two parties may mix backends freely — the wire bytes and
+decode results are identical.
+
 The contract required by every caller in this library: **within one party's
 table each key is inserted at most once.**  The robust protocol meets it with
 occurrence-indexed cell keys; the exact baselines insert set elements.
@@ -27,7 +34,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError, SerializationError
-from repro.iblt.hashing import HashFamily, checksum64, splitmix64
+from repro.iblt.backends import Backend, resolve_backend
+from repro.iblt.hashing import HashFamily
 from repro.net.bits import BitReader, BitWriter
 
 #: Asymptotic peeling thresholds for q-regular random hypergraphs: a table
@@ -69,7 +77,9 @@ class IBLTConfig:
     """Shared (public-coin) parameters of an IBLT.
 
     Both parties must construct their tables from an identical config; the
-    config itself is never transmitted.
+    config itself is never transmitted.  (The backend hosting the cells is a
+    private, per-party choice — it does not affect the wire format and is
+    deliberately not part of this config.)
     """
 
     cells: int
@@ -103,6 +113,13 @@ class IBLTConfig:
         return HashFamily(self.q, self.cells, self.seed)
 
 
+def _materialize(keys):
+    """Give backends a re-iterable, len-aware batch (generators included)."""
+    if isinstance(keys, (list, tuple)) or hasattr(keys, "dtype"):
+        return keys
+    return list(keys)
+
+
 class IBLT:
     """A mutable IBLT instance.
 
@@ -110,6 +127,10 @@ class IBLT:
     ----------
     config:
         Shared parameters (see :class:`IBLTConfig`).
+    backend:
+        Cell-storage engine name (see :mod:`repro.iblt.backends`); ``None``
+        means the pure-Python reference, ``"auto"`` the fastest available
+        backend supporting this config.
 
     Notes
     -----
@@ -118,111 +139,127 @@ class IBLT:
     the minuend (Alice), ``-1`` only to the subtrahend (Bob).
     """
 
-    __slots__ = (
-        "config", "_hashes", "counts", "key_sums", "check_sums",
-        "_check_premix", "_check_mask",
-    )
+    __slots__ = ("config", "_hashes", "_backend")
 
-    def __init__(self, config: IBLTConfig):
+    def __init__(self, config: IBLTConfig, backend: str | None = None):
         self.config = config
         self._hashes = config.hash_family()
-        self.counts = [0] * config.cells
-        self.key_sums = [0] * config.cells
-        self.check_sums = [0] * config.cells
-        # Shared-mix checksum constants (same value as checksum64 computes).
-        self._check_premix = splitmix64(config.seed ^ 0xC0FFEE)
-        self._check_mask = (1 << config.checksum_bits) - 1
+        if backend is None:
+            backend = "pure"
+        self._backend = resolve_backend(backend, config)(config)
+
+    @classmethod
+    def _wrap(cls, config: IBLTConfig, backend: Backend) -> "IBLT":
+        """Adopt an existing backend instance (internal fast path)."""
+        table = cls.__new__(cls)
+        table.config = config
+        table._hashes = config.hash_family()
+        table._backend = backend
+        return table
 
     @property
     def hashes(self) -> HashFamily:
         """The cell-index hash family used by this table."""
         return self._hashes
 
-    def _check_key(self, key: int) -> None:
-        if key < 0:
-            raise ValueError(f"keys must be non-negative, got {key}")
-        if key.bit_length() > self.config.key_bits:
-            raise ValueError(
-                f"key {key} exceeds configured key width "
-                f"({key.bit_length()} > {self.config.key_bits} bits)"
-            )
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the cell-storage backend hosting this table."""
+        return self._backend.name
 
-    def _update(self, key: int, delta: int) -> None:
-        self._check_key(key)
-        key_mix = splitmix64(key)
-        check = splitmix64(self._check_premix ^ key_mix) & self._check_mask
-        for index in self._hashes.indices_from_mix(key_mix):
-            self.counts[index] += delta
-            self.key_sums[index] ^= key
-            self.check_sums[index] ^= check
+    @property
+    def counts(self):
+        """Per-cell signed key counts (backend-native array or list)."""
+        return self._backend.counts
+
+    @property
+    def key_sums(self):
+        """Per-cell key XOR accumulators (backend-native array or list)."""
+        return self._backend.key_sums
+
+    @property
+    def check_sums(self):
+        """Per-cell checksum XOR accumulators (backend-native array or list)."""
+        return self._backend.check_sums
+
+    # --------------------------------------------------------------- updates
 
     def insert(self, key: int) -> None:
         """Add one key to the table."""
-        self._update(key, +1)
+        self._backend.apply(key, +1)
 
     def delete(self, key: int) -> None:
         """Remove one key from the table (counts may go negative)."""
-        self._update(key, -1)
+        self._backend.apply(key, -1)
+
+    def insert_many(self, keys) -> None:
+        """Insert a whole batch of keys (vectorized where the backend can).
+
+        Accepts any iterable of non-negative ints (numpy arrays included);
+        equivalent to — but on batch backends much faster than — calling
+        :meth:`insert` per key.
+        """
+        self._backend.apply_batch(_materialize(keys), +1)
+
+    def delete_many(self, keys) -> None:
+        """Delete a whole batch of keys (see :meth:`insert_many`)."""
+        self._backend.apply_batch(_materialize(keys), -1)
 
     def insert_all(self, keys) -> None:
-        """Insert every key of an iterable."""
-        for key in keys:
-            self.insert(key)
+        """Insert every key of an iterable (alias of :meth:`insert_many`)."""
+        self.insert_many(keys)
 
     def delete_all(self, keys) -> None:
-        """Delete every key of an iterable."""
-        for key in keys:
-            self.delete(key)
+        """Delete every key of an iterable (alias of :meth:`delete_many`)."""
+        self.delete_many(keys)
+
+    # --------------------------------------------------------------- algebra
 
     def subtract(self, other: "IBLT") -> "IBLT":
         """Return a new table equal to ``self - other`` cell-wise.
 
-        Both tables must share an identical config (same public coins).
+        Both tables must share an identical config (same public coins); the
+        backends may differ — ``other`` is converted to this table's backend
+        first, and the result keeps this table's backend.
         """
         if self.config != other.config:
             raise ConfigError("cannot subtract IBLTs with different configs")
-        result = IBLT(self.config)
-        for i in range(self.config.cells):
-            result.counts[i] = self.counts[i] - other.counts[i]
-            result.key_sums[i] = self.key_sums[i] ^ other.key_sums[i]
-            result.check_sums[i] = self.check_sums[i] ^ other.check_sums[i]
-        return result
+        other_backend = other._backend
+        if type(other_backend) is not type(self._backend):
+            converted = type(self._backend)(other.config)
+            rows = list(other_backend.rows())
+            converted.load_rows(
+                [row[0] for row in rows],
+                [row[1] for row in rows],
+                [row[2] for row in rows],
+            )
+            other_backend = converted
+        return IBLT._wrap(self.config, self._backend.subtract(other_backend))
 
     def is_empty(self) -> bool:
         """True when every cell is zero (sets were identical)."""
-        return (
-            all(c == 0 for c in self.counts)
-            and all(k == 0 for k in self.key_sums)
-            and all(s == 0 for s in self.check_sums)
-        )
+        return self._backend.is_empty()
 
     def nonzero_cells(self) -> int:
         """Number of cells with any nonzero field (decode-failure diagnostic)."""
-        return sum(
-            1
-            for count, key, check in zip(self.counts, self.key_sums, self.check_sums)
-            if count or key or check
-        )
+        return self._backend.nonzero_cells()
+
+    def cell(self, index: int) -> tuple[int, int, int]:
+        """``(count, key_sum, check_sum)`` of one cell, as Python ints."""
+        return self._backend.cell(index)
 
     def cell_is_pure(self, index: int) -> int:
         """Return ``+1``/``-1`` if cell ``index`` holds exactly one key from
         the corresponding side (checksum-verified), else ``0``."""
-        count = self.counts[index]
-        if count not in (1, -1):
-            return 0
-        key = self.key_sums[index]
-        expected = checksum64(key, self.config.seed, self.config.checksum_bits)
-        if self.check_sums[index] != expected:
-            return 0
-        return count
+        return self._backend.cell_is_pure(index)
+
+    def pure_cells(self) -> list[int]:
+        """Indices of all currently pure cells, ascending."""
+        return self._backend.pure_cells()
 
     def copy(self) -> "IBLT":
         """Deep copy (used by the decoder, which peels destructively)."""
-        clone = IBLT(self.config)
-        clone.counts = list(self.counts)
-        clone.key_sums = list(self.key_sums)
-        clone.check_sums = list(self.check_sums)
-        return clone
+        return IBLT._wrap(self.config, self._backend.copy())
 
     # ------------------------------------------------------------------ wire
 
@@ -230,7 +267,7 @@ class IBLT:
         """Serialise cell contents (the config travels via public coins)."""
         key_bits = self.config.key_bits
         check_bits = self.config.checksum_bits
-        for count, key, check in zip(self.counts, self.key_sums, self.check_sums):
+        for count, key, check in self._backend.rows():
             writer.write_svarint(count)
             writer.write_uint(key, key_bits)
             writer.write_uint(check, check_bits)
@@ -242,20 +279,28 @@ class IBLT:
         return writer.getvalue()
 
     @classmethod
-    def read_from(cls, reader: BitReader, config: IBLTConfig) -> "IBLT":
+    def read_from(
+        cls, reader: BitReader, config: IBLTConfig, backend: str | None = None
+    ) -> "IBLT":
         """Deserialise a table previously written with :meth:`write_to`."""
-        table = cls(config)
-        for i in range(config.cells):
-            table.counts[i] = reader.read_svarint()
-            table.key_sums[i] = reader.read_uint(config.key_bits)
-            table.check_sums[i] = reader.read_uint(config.checksum_bits)
+        counts: list[int] = []
+        key_sums: list[int] = []
+        check_sums: list[int] = []
+        for _ in range(config.cells):
+            counts.append(reader.read_svarint())
+            key_sums.append(reader.read_uint(config.key_bits))
+            check_sums.append(reader.read_uint(config.checksum_bits))
+        table = cls(config, backend=backend)
+        table._backend.load_rows(counts, key_sums, check_sums)
         return table
 
     @classmethod
-    def from_bytes(cls, data: bytes, config: IBLTConfig) -> "IBLT":
+    def from_bytes(
+        cls, data: bytes, config: IBLTConfig, backend: str | None = None
+    ) -> "IBLT":
         """Deserialise from a standalone byte string."""
         reader = BitReader(data)
-        table = cls.read_from(reader, config)
+        table = cls.read_from(reader, config, backend=backend)
         try:
             reader.expect_end()
         except SerializationError as exc:
