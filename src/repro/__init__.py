@@ -30,6 +30,16 @@ on batch work (sketch construction, subtract, decode) for large inputs.
 Custom engines register via
 :func:`repro.iblt.backends.register_backend`.
 
+Scaling out
+-----------
+The sharded engine (:mod:`repro.scale`) splits the point space into
+``ProtocolConfig(shards=S)`` deterministic spatial shards, runs one
+sub-protocol per shard through a pluggable serial / thread / process
+executor, and merges the per-shard repairs — bounded per-shard memory,
+multi-core encode/decode, and per-shard sketch sizing.  See
+:func:`repro.scale.reconcile_sharded` and
+:class:`repro.scale.ShardedIncrementalSketch`.
+
 See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
 reproduced evaluation.
 """
@@ -53,8 +63,15 @@ from repro.errors import (
 )
 from repro.net.channel import Direction, SimulatedChannel
 from repro.net.transcript import Transcript
+from repro.scale import (
+    ShardedIncrementalSketch,
+    ShardedReconciler,
+    ShardedResult,
+    SpacePartitioner,
+    reconcile_sharded,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AdaptiveConfig",
@@ -73,8 +90,12 @@ __all__ = [
     "ReconciliationFailure",
     "ReproError",
     "SerializationError",
+    "ShardedIncrementalSketch",
+    "ShardedReconciler",
+    "ShardedResult",
     "ShiftedGridHierarchy",
     "SimulatedChannel",
+    "SpacePartitioner",
     "Transcript",
     "available_backends",
     "register_backend",
@@ -83,5 +104,6 @@ __all__ = [
     "emd_k",
     "reconcile",
     "reconcile_adaptive",
+    "reconcile_sharded",
     "__version__",
 ]

@@ -35,6 +35,8 @@ from repro.core.config import ProtocolConfig
 from repro.core.protocol import reconcile
 from repro.errors import ReproError
 from repro.iblt.backends import available_backends, backend_names
+from repro.scale import reconcile_sharded
+from repro.scale.executors import executors_available
 from repro.workloads.geo import geo_pair
 from repro.workloads.sensors import sensor_pair
 from repro.workloads.synthetic import clustered_pair, perturbed_pair
@@ -71,6 +73,15 @@ def _build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--adaptive", action="store_true",
                      help="use the two-round adaptive protocol")
     rec.add_argument("--backend", **backend_kwargs)
+    rec.add_argument("--shards", type=int, default=1,
+                     help="spatial shards for the sharded engine (default: 1 "
+                          "= monolithic protocol)")
+    rec.add_argument("--workers", type=int, default=None,
+                     help="shard-executor concurrency (default: from machine)")
+    rec.add_argument("--executor", choices=("auto",) + executors_available(),
+                     default="auto",
+                     help="shard executor: serial, thread, or process pool "
+                          "(default: auto)")
     rec.add_argument("--output", type=Path, default=None,
                      help="write the repaired set to this JSON path")
 
@@ -131,16 +142,34 @@ def cmd_generate(args) -> int:
 
 def cmd_reconcile(args) -> int:
     data = _load_workload(args.workload)
+    if args.adaptive and args.shards > 1:
+        raise ReproError(
+            "--adaptive and --shards are mutually exclusive (the sharded "
+            "engine runs the one-round protocol per shard)"
+        )
     config = ProtocolConfig(
         delta=data["delta"], dimension=data["dimension"], k=args.k,
-        seed=args.seed, backend=args.backend,
+        seed=args.seed, backend=args.backend, shards=args.shards,
+        workers=args.workers, executor=args.executor,
     )
-    runner = reconcile_adaptive if args.adaptive else reconcile
+    if args.shards > 1:
+        runner = reconcile_sharded
+        protocol = f"sharded one-round ({args.shards} shards, {config.executor} executor)"
+    elif args.adaptive:
+        runner = reconcile_adaptive
+        protocol = "adaptive 2-round"
+    else:
+        runner = reconcile
+        protocol = "one-round"
     result = runner(data["alice"], data["bob"], config)
-    print(f"protocol : {'adaptive 2-round' if args.adaptive else 'one-round'}")
+    print(f"protocol : {protocol}")
     print(f"backend  : {config.backend}")
     print(f"message  : {result.transcript.describe()}")
-    print(f"level    : {result.level} (cell side {2 ** result.level})")
+    if args.shards > 1:
+        print(f"levels   : {result.shard_levels} per shard "
+              f"(coarsest cell side {2 ** result.level})")
+    else:
+        print(f"level    : {result.level} (cell side {2 ** result.level})")
     print(f"repair   : +{result.alice_surplus} centres, "
           f"-{result.bob_surplus} points")
     print(f"|S'_B|   : {len(result.repaired)}")

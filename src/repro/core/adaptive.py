@@ -76,6 +76,11 @@ class AdaptiveReconciler:
     def sampled_levels(self) -> list[int]:
         """Levels carrying an estimator in round 1 (coarsest always included)."""
         all_levels = list(self.config.sketch_levels)
+        if not all_levels:
+            raise ConfigError(
+                "adaptive reconciliation needs at least one sketch level; "
+                "config.sketch_levels is empty"
+            )
         sampled = all_levels[:: self.adaptive.level_stride]
         if all_levels[-1] not in sampled:
             sampled.append(all_levels[-1])
@@ -191,9 +196,17 @@ class AdaptiveReconciler:
         n_alice = reader.read_varint()
         n_levels = reader.read_varint()
         window: list[tuple[int, IBLT]] = []
+        seen_levels: set[int] = set()
         for _ in range(n_levels):
             level = reader.read_varint()
             cells = reader.read_varint()
+            if level in seen_levels:
+                # A malformed reply could carry one level twice and silently
+                # shadow the first table; reject it at the wire boundary.
+                raise SerializationError(
+                    f"adaptive window carries level {level} twice"
+                )
+            seen_levels.add(level)
             table_config = level_iblt_config(self.config, self.grid, level, cells)
             window.append(
                 (level, IBLT.read_from(reader, table_config, backend=self.config.backend))

@@ -257,19 +257,16 @@ class ShiftedGridHierarchy:
             result[level] = keys
         return result
 
-    def _level_keys_vectorized(
-        self, points: Sequence[Point], levels: Sequence[int]
-    ) -> dict[int, list[int]] | None:
-        """numpy fast path of :meth:`level_keys`; ``None`` means "fall back".
+    def vector_points(self, points: Sequence[Point]) -> "_np.ndarray | None":
+        """Points as a validated ``(n, d)`` int64 array; ``None`` = fall back.
 
-        Falls back (returning ``None``) when numpy is missing, the points
-        are not a clean integer ``(n, d)`` block, or a requested level's key
-        would overflow int64 — the pure path then either handles the input
-        or raises the canonical validation error.
+        Returns ``None`` when numpy is missing, the input is not a clean
+        integer block, or the grid is too wide for int64 arithmetic — the
+        pure-Python paths then either handle the input or raise the
+        canonical validation error.  Out-of-range coordinates raise
+        :class:`~repro.errors.ConfigError` exactly like the scalar checks.
         """
         if _np is None or len(points) == 0:
-            return None
-        if any(self.key_bits(level) > 63 for level in levels):
             return None
         if self.max_level > 62:
             # Shifted coordinates need max_level + 1 bits (see coord_bits)
@@ -289,40 +286,35 @@ class ShiftedGridHierarchy:
             raise ConfigError(
                 f"coordinate {int(bad)} outside [0, {self.delta})"
             )
+        return array
 
+    def vector_key_pass(
+        self, points: Sequence[Point]
+    ) -> "VectorKeyPass | None":
+        """A reusable vectorized key pass over ``points``; ``None`` = fall back.
+
+        The pass validates, shifts, and sorts the points once; every
+        subsequent per-level key request pays only the bit arithmetic.  Hot
+        callers that probe several levels of one point multiset (the decoder,
+        the sharded engine) hold one pass instead of re-sorting per level.
+        """
+        array = self.vector_points(points)
+        if array is None:
+            return None
         shifted = array + _np.asarray(self.shift, dtype=_np.int64)
         order = _np.lexsort(shifted.T[::-1])  # first coordinate is primary
-        shifted = shifted[order]
-        n = shifted.shape[0]
-        occ_bits = self.occupancy_bits
-        occ_limit = 1 << occ_bits
-        positions = _np.arange(n, dtype=_np.int64)
-        result: dict[int, list[int]] = {}
-        for level in levels:
-            bits = self.coord_bits(level)
-            cells = shifted >> level
-            cell_key = cells[:, 0].copy()
-            for column in range(1, self.dimension):
-                cell_key = (cell_key << bits) | cells[:, column]
-            # Occurrence rank = number of earlier points (in sorted order)
-            # sharing the cell.  Equal cells need not be adjacent, so group
-            # via a stable argsort of the group ids.
-            _, inverse = _np.unique(cell_key, return_inverse=True)
-            grouped = _np.argsort(inverse, kind="stable")
-            sorted_inverse = inverse[grouped]
-            starts = _np.flatnonzero(
-                _np.concatenate(([True], sorted_inverse[1:] != sorted_inverse[:-1]))
-            )
-            sizes = _np.diff(_np.append(starts, n))
-            ranks = _np.empty(n, dtype=_np.int64)
-            ranks[grouped] = positions - _np.repeat(starts, sizes)
-            if int(ranks.max()) >= occ_limit:
-                raise CapacityExceeded(
-                    f"more than {occ_limit} points share a level-{level} "
-                    "cell; raise occupancy_bits"
-                )
-            result[level] = ((cell_key << occ_bits) | ranks).tolist()
-        return result
+        return VectorKeyPass(self, shifted[order], order)
+
+    def _level_keys_vectorized(
+        self, points: Sequence[Point], levels: Sequence[int]
+    ) -> dict[int, list[int]] | None:
+        """numpy fast path of :meth:`level_keys`; ``None`` means "fall back"."""
+        if any(self.key_bits(level) > 63 for level in levels):
+            return None
+        key_pass = self.vector_key_pass(points)
+        if key_pass is None:
+            return None
+        return {level: key_pass.keys(level).tolist() for level in levels}
 
     def cell_diameter(self, level: int, metric: str = "l1") -> float:
         """Upper bound on the distance between two points in one cell."""
@@ -333,3 +325,89 @@ class ShiftedGridHierarchy:
         if metric == "linf":
             return side
         return side * (self.dimension ** 0.5)
+
+
+class VectorKeyPass:
+    """One point multiset's vectorized key state, reusable across levels.
+
+    Construction (via :meth:`ShiftedGridHierarchy.vector_key_pass` or a
+    pre-sorted shifted block) pays the validation + shift + lexsort once;
+    :meth:`keys` and :meth:`cell_keys` then cost only per-level bit
+    arithmetic and grouping.  All outputs are int64 numpy arrays **in the
+    pass's sorted (coordinate) order** — exactly the order
+    :meth:`ShiftedGridHierarchy.bucket_points` sorts each bucket into, so
+    occurrence ranks agree with the scalar paths key for key.
+    """
+
+    def __init__(self, grid: ShiftedGridHierarchy, sorted_shifted, order=None):
+        if _np is None:  # pragma: no cover - callers gate on numpy
+            raise ConfigError("VectorKeyPass requires numpy")
+        self.grid = grid
+        self._shifted = sorted_shifted  # (n, d) int64, lexsorted
+        #: Permutation mapping sorted order back to the caller's original
+        #: point order (``None`` when the caller supplied pre-sorted data).
+        self.order = order
+        self._keys: dict[int, "_np.ndarray"] = {}
+        self._cell_keys: dict[int, "_np.ndarray"] = {}
+
+    def __len__(self) -> int:
+        return self._shifted.shape[0]
+
+    def supports(self, level: int) -> bool:
+        """True when this level's packed keys fit int64 arithmetic."""
+        return self.grid.key_bits(level) <= 63
+
+    def sorted_point(self, index: int) -> Point:
+        """The ``index``-th point in sorted order (shift removed)."""
+        shift = self.grid.shift
+        row = self._shifted[index]
+        return tuple(int(row[i]) - shift[i] for i in range(self.grid.dimension))
+
+    def cell_keys(self, level: int) -> "_np.ndarray":
+        """Packed cell id per point (sorted order), without occurrence bits."""
+        cached = self._cell_keys.get(level)
+        if cached is not None:
+            return cached
+        self.grid._check_level(level)
+        bits = self.grid.coord_bits(level)
+        cells = self._shifted >> level
+        cell_key = cells[:, 0].copy()
+        for column in range(1, self.grid.dimension):
+            cell_key = (cell_key << bits) | cells[:, column]
+        self._cell_keys[level] = cell_key
+        return cell_key
+
+    def keys(self, level: int) -> "_np.ndarray":
+        """Packed ``(cell, occurrence-rank)`` keys per point (sorted order)."""
+        cached = self._keys.get(level)
+        if cached is not None:
+            return cached
+        if not self.supports(level):
+            raise ConfigError(
+                f"level {level} keys need {self.grid.key_bits(level)} bits; "
+                "the vectorized pass handles at most 63"
+            )
+        cell_key = self.cell_keys(level)
+        n = cell_key.shape[0]
+        occ_bits = self.grid.occupancy_bits
+        occ_limit = 1 << occ_bits
+        # Occurrence rank = number of earlier points (in sorted order)
+        # sharing the cell.  Equal cells need not be adjacent, so group
+        # via a stable argsort of the group ids.
+        _, inverse = _np.unique(cell_key, return_inverse=True)
+        grouped = _np.argsort(inverse, kind="stable")
+        sorted_inverse = inverse[grouped]
+        starts = _np.flatnonzero(
+            _np.concatenate(([True], sorted_inverse[1:] != sorted_inverse[:-1]))
+        )
+        sizes = _np.diff(_np.append(starts, n))
+        ranks = _np.empty(n, dtype=_np.int64)
+        ranks[grouped] = _np.arange(n, dtype=_np.int64) - _np.repeat(starts, sizes)
+        if int(ranks.max()) >= occ_limit:
+            raise CapacityExceeded(
+                f"more than {occ_limit} points share a level-{level} "
+                "cell; raise occupancy_bits"
+            )
+        keys = (cell_key << occ_bits) | ranks
+        self._keys[level] = keys
+        return keys

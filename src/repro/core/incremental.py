@@ -145,6 +145,17 @@ class IncrementalSketch:
             self._cell_counts[level] = counts
         self.n_points = len(points)
 
+    def level_sketches(self) -> list[LevelSketch]:
+        """Live per-level tables, finest first.
+
+        The tables are this sketch's working state, not copies — callers
+        (e.g. the sharded wire codec) must treat them as read-only.
+        """
+        return [
+            LevelSketch(level, self._tables[level])
+            for level in self.config.sketch_levels
+        ]
+
     def encode(self) -> bytes:
         """The current one-round message (bit-identical to a fresh encode)."""
         sketch = HierarchySketch(

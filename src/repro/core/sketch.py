@@ -129,10 +129,19 @@ class HierarchySketch:
                 f"sketch claims {n_levels} levels, grid has {grid.max_level + 1}"
             )
         levels: list[LevelSketch] = []
+        seen_levels: set[int] = set()
         for _ in range(n_levels):
             level = reader.read_varint()
             if not 0 <= level <= grid.max_level:
                 raise SerializationError(f"level {level} out of range")
+            if level in seen_levels:
+                # A malformed payload can carry the same level twice; later
+                # copies would silently shadow the first in the receiver's
+                # level index, so reject at the wire boundary.
+                raise SerializationError(
+                    f"sketch carries level {level} twice"
+                )
+            seen_levels.add(level)
             cells = cells_by_level.get(level) if cells_by_level else None
             table_config = level_iblt_config(config, grid, level, cells)
             levels.append(

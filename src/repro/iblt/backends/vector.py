@@ -170,6 +170,12 @@ class NumpyBackend(Backend):
         return clone
 
     def load_rows(self, counts, key_sums, check_sums) -> None:
+        if isinstance(counts, _np.ndarray):
+            # Bulk path (the sharded wire codec hands over whole arrays).
+            self.counts = counts.astype(_np.int64, copy=True)
+            self.key_sums = key_sums.astype(_U64, copy=True)
+            self.check_sums = check_sums.astype(_U64, copy=True)
+            return
         self.counts = _np.array([int(c) for c in counts], dtype=_np.int64)
         self.key_sums = _np.array([int(k) for k in key_sums], dtype=_U64)
         self.check_sums = _np.array([int(s) for s in check_sums], dtype=_U64)

@@ -56,10 +56,17 @@ def zigzag_decode(value: int) -> int:
 
 
 class BitWriter:
-    """Accumulate bit fields MSB-first into a byte string."""
+    """Accumulate bit fields MSB-first into a byte string.
+
+    Whole bytes are flushed into a ``bytearray`` as soon as they complete, so
+    the cost of writing a message is linear in its size; only the trailing
+    sub-byte remainder (at most 7 bits) is kept as an integer accumulator.
+    """
 
     def __init__(self) -> None:
-        self._chunks: list[int] = []
+        self._buffer = bytearray()
+        self._acc = 0  # pending bits, MSB-first; always < 2**_acc_bits
+        self._acc_bits = 0  # number of pending bits (0..7 between calls)
         self._bit_len = 0
 
     def __len__(self) -> int:
@@ -76,12 +83,24 @@ class BitWriter:
         """Number of bytes the current content rounds up to."""
         return (self._bit_len + 7) // 8
 
+    def _append(self, value: int, width: int) -> None:
+        """Push ``width`` bits, flushing every completed byte to the buffer."""
+        acc = (self._acc << width) | value
+        bits = self._acc_bits + width
+        if bits >= 8:
+            rest = bits & 7
+            self._buffer += (acc >> rest).to_bytes((bits - rest) // 8, "big")
+            acc &= (1 << rest) - 1
+            bits = rest
+        self._acc = acc
+        self._acc_bits = bits
+        self._bit_len += width
+
     def write_bit(self, bit: int) -> None:
         """Append a single bit (0 or 1)."""
         if bit not in (0, 1):
             raise SerializationError(f"bit must be 0 or 1, got {bit!r}")
-        self._chunks.append((bit, 1))
-        self._bit_len += 1
+        self._append(bit, 1)
 
     def write_uint(self, value: int, width: int) -> None:
         """Append ``value`` as an unsigned integer of exactly ``width`` bits."""
@@ -93,8 +112,7 @@ class BitWriter:
             raise SerializationError(
                 f"value {value} does not fit in {width} bits"
             )
-        self._chunks.append((value, width))
-        self._bit_len += width
+        self._append(value, width)
 
     def write_varint(self, value: int) -> None:
         """Append an unsigned integer using 8-bit LEB128 groups.
@@ -108,8 +126,7 @@ class BitWriter:
             group = value & 0x7F
             value >>= 7
             cont = 1 if value else 0
-            self._chunks.append(((cont << 7) | group, 8))
-            self._bit_len += 8
+            self._append((cont << 7) | group, 8)
             if not cont:
                 return
 
@@ -118,28 +135,36 @@ class BitWriter:
         self.write_varint(_zigzag_big(value))
 
     def write_bytes(self, data: bytes) -> None:
-        """Append a length-prefixed byte string."""
+        """Append a length-prefixed byte string (bulk copy when byte-aligned)."""
         self.write_varint(len(data))
-        for byte in data:
-            self._chunks.append((byte, 8))
-        self._bit_len += 8 * len(data)
+        if not data:
+            return
+        if self._acc_bits == 0:
+            self._buffer += data
+            self._bit_len += 8 * len(data)
+        else:
+            self._append(int.from_bytes(data, "big"), 8 * len(data))
 
     def getvalue(self) -> bytes:
         """Return the accumulated bits, zero-padded to a whole byte string."""
-        acc = 0
-        for value, width in self._chunks:
-            acc = (acc << width) | value
-        pad = (8 - self._bit_len % 8) % 8
-        acc <<= pad
-        return acc.to_bytes((self._bit_len + pad) // 8, "big")
+        if self._acc_bits == 0:
+            return bytes(self._buffer)
+        pad = 8 - self._acc_bits
+        return bytes(self._buffer) + bytes(((self._acc << pad) & 0xFF,))
 
 
 class BitReader:
-    """Replay bit fields from a byte string produced by :class:`BitWriter`."""
+    """Replay bit fields from a byte string produced by :class:`BitWriter`.
+
+    Reads advance an incremental byte cursor (a :class:`memoryview` plus a
+    sub-byte bit offset): every field touches only the bytes it spans, so
+    scanning a message is linear in its size — there is no whole-message
+    big integer behind the scenes.
+    """
 
     def __init__(self, data: bytes) -> None:
         self._data = data
-        self._value = int.from_bytes(data, "big")
+        self._view = memoryview(data)
         self._total_bits = 8 * len(data)
         self._pos = 0
 
@@ -156,15 +181,19 @@ class BitReader:
     def _take(self, width: int) -> int:
         if width <= 0:
             raise SerializationError(f"width must be positive, got {width}")
-        if self._pos + width > self._total_bits:
+        pos = self._pos
+        if pos + width > self._total_bits:
             raise SerializationError(
                 f"read of {width} bits overruns message "
                 f"({self.bits_remaining} bits remain)"
             )
-        shift = self._total_bits - self._pos - width
-        mask = (1 << width) - 1
-        self._pos += width
-        return (self._value >> shift) & mask
+        self._pos = pos + width
+        start = pos >> 3
+        bit_offset = pos & 7
+        span = (bit_offset + width + 7) >> 3
+        chunk = int.from_bytes(self._view[start:start + span], "big")
+        excess = span * 8 - bit_offset - width
+        return (chunk >> excess) & ((1 << width) - 1)
 
     def read_bit(self) -> int:
         """Read a single bit."""
@@ -192,13 +221,29 @@ class BitReader:
         return zigzag_decode(self.read_varint())
 
     def read_bytes(self) -> bytes:
-        """Read a length-prefixed byte string."""
+        """Read a length-prefixed byte string.
+
+        Byte-aligned reads (the common case after whole-byte headers) are a
+        single buffer slice; unaligned reads shift once over the spanned
+        region instead of taking one byte at a time.
+        """
         length = self.read_varint()
         if 8 * length > self.bits_remaining:
             raise SerializationError(
                 f"byte string of length {length} overruns message"
             )
-        return bytes(self._take(8) for _ in range(length))
+        if length == 0:
+            return b""
+        pos = self._pos
+        start = pos >> 3
+        bit_offset = pos & 7
+        self._pos = pos + 8 * length
+        if bit_offset == 0:
+            return bytes(self._view[start:start + length])
+        span = length + 1
+        chunk = int.from_bytes(self._view[start:start + span], "big")
+        chunk >>= 8 - bit_offset
+        return (chunk & ((1 << (8 * length)) - 1)).to_bytes(length, "big")
 
     def expect_end(self, *, allow_padding: bool = True) -> None:
         """Assert the stream is exhausted (up to sub-byte zero padding)."""

@@ -1,0 +1,155 @@
+"""Malformed / truncated adaptive payloads must fail with SerializationError.
+
+Satellite coverage for the wire-layer bugfixes: bad magic, wrong version,
+mid-estimator truncation, duplicate window levels — every case must raise
+:class:`~repro.errors.SerializationError` (or, for impossible configs,
+:class:`~repro.errors.ConfigError`), never an uncontrolled crash.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adaptive import (
+    REQUEST_MAGIC,
+    RESPONSE_MAGIC,
+    AdaptiveReconciler,
+)
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import HierarchicalReconciler
+from repro.core.sketch import HierarchySketch
+from repro.errors import ConfigError, SerializationError
+from repro.net.bits import BitReader, BitWriter
+
+
+def _parties():
+    config = ProtocolConfig(delta=1024, dimension=2, k=4, seed=21)
+    reconciler = AdaptiveReconciler(config)
+    alice = [(10, 10), (500, 501), (900, 4), (77, 300)]
+    bob = [(10, 11), (500, 500), (700, 700), (77, 300)]
+    return reconciler, alice, bob
+
+
+class TestRoundOneMalformed:
+    def test_bad_magic(self):
+        reconciler, alice, bob = _parties()
+        request = bytearray(reconciler.bob_request(bob))
+        request[0] ^= 0xFF
+        with pytest.raises(SerializationError, match="magic"):
+            reconciler.alice_respond(bytes(request), alice)
+
+    def test_wrong_version(self):
+        reconciler, alice, bob = _parties()
+        request = bytearray(reconciler.bob_request(bob))
+        request[1] = 0x7E
+        with pytest.raises(SerializationError, match="version"):
+            reconciler.alice_respond(bytes(request), alice)
+
+    @pytest.mark.parametrize("keep_fraction", [0.25, 0.5, 0.9])
+    def test_mid_estimator_truncation(self, keep_fraction):
+        reconciler, alice, bob = _parties()
+        request = reconciler.bob_request(bob)
+        truncated = request[: int(len(request) * keep_fraction)]
+        with pytest.raises(SerializationError):
+            reconciler.alice_respond(truncated, alice)
+
+    def test_trailing_garbage(self):
+        reconciler, alice, bob = _parties()
+        request = reconciler.bob_request(bob)
+        with pytest.raises(SerializationError):
+            reconciler.alice_respond(request + b"\xa5", alice)
+
+
+class TestRoundTwoMalformed:
+    def _response(self):
+        reconciler, alice, bob = _parties()
+        request = reconciler.bob_request(bob)
+        return reconciler, bob, reconciler.alice_respond(request, alice)
+
+    def test_bad_magic(self):
+        reconciler, bob, response = self._response()
+        tampered = bytes([response[0] ^ 0xFF]) + response[1:]
+        with pytest.raises(SerializationError, match="magic"):
+            reconciler.bob_finish(tampered, bob)
+
+    def test_wrong_version(self):
+        reconciler, bob, response = self._response()
+        tampered = bytes([response[0], 0x7E]) + response[2:]
+        with pytest.raises(SerializationError, match="version"):
+            reconciler.bob_finish(tampered, bob)
+
+    @pytest.mark.parametrize("keep_fraction", [0.3, 0.6, 0.95])
+    def test_mid_table_truncation(self, keep_fraction):
+        reconciler, bob, response = self._response()
+        truncated = response[: int(len(response) * keep_fraction)]
+        with pytest.raises(SerializationError):
+            reconciler.bob_finish(truncated, bob)
+
+    def test_duplicate_window_levels(self):
+        reconciler, bob, response = self._response()
+        # Re-frame the response so the first window table appears twice.
+        reader = BitReader(response)
+        assert reader.read_uint(8) == RESPONSE_MAGIC
+        version = reader.read_uint(8)
+        n_alice = reader.read_varint()
+        n_levels = reader.read_varint()
+        assert n_levels >= 1
+        level = reader.read_varint()
+        cells = reader.read_varint()
+        writer = BitWriter()
+        writer.write_uint(RESPONSE_MAGIC, 8)
+        writer.write_uint(version, 8)
+        writer.write_varint(n_alice)
+        writer.write_varint(2)
+        table_config = None
+        from repro.core.sketch import level_iblt_config
+        from repro.iblt.table import IBLT
+
+        table_config = level_iblt_config(
+            reconciler.config, reconciler.grid, level, cells
+        )
+        table = IBLT.read_from(reader, table_config)
+        for _ in range(2):
+            writer.write_varint(level)
+            writer.write_varint(cells)
+            table.write_to(writer)
+        with pytest.raises(SerializationError, match="twice"):
+            reconciler.bob_finish(writer.getvalue(), bob)
+
+    def test_request_fed_to_bob_finish(self):
+        reconciler, bob, _ = self._response()
+        request = reconciler.bob_request(bob)
+        assert request[0] == REQUEST_MAGIC
+        with pytest.raises(SerializationError, match="magic"):
+            reconciler.bob_finish(request, bob)
+
+
+class TestEmptyLevelConfigs:
+    def test_config_rejects_empty_levels_tuple(self):
+        with pytest.raises(ConfigError, match="level"):
+            ProtocolConfig(delta=1024, dimension=2, k=4, levels=())
+
+    def test_sampled_levels_raises_config_error_not_index_error(self):
+        """Even a config that smuggles empty levels past validation fails
+        with ConfigError (the old code crashed with IndexError)."""
+        reconciler, _, _ = _parties()
+        object.__setattr__(reconciler.config, "levels", ())
+        with pytest.raises(ConfigError, match="sketch level"):
+            reconciler.sampled_levels()
+
+
+class TestDuplicateSketchLevels:
+    def test_from_bytes_rejects_duplicate_levels(self):
+        config = ProtocolConfig(delta=256, dimension=1, k=2, seed=3)
+        reconciler = HierarchicalReconciler(config)
+        sketch_bytes = reconciler.encode([(10,), (200,)])
+        sketch = HierarchySketch.from_bytes(sketch_bytes, config, reconciler.grid)
+        # Rebuild a payload that carries the first level twice.
+        duplicated = HierarchySketch(
+            n_points=sketch.n_points,
+            levels=[sketch.levels[0], sketch.levels[0]] + sketch.levels[2:],
+        )
+        with pytest.raises(SerializationError, match="twice"):
+            HierarchySketch.from_bytes(
+                duplicated.to_bytes(), config, reconciler.grid
+            )

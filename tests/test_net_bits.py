@@ -1,5 +1,7 @@
 """Unit tests for the bit-granular serialisation layer."""
 
+import time
+
 import pytest
 
 from repro.errors import SerializationError
@@ -176,3 +178,88 @@ class TestReaderErrors:
         reader = BitReader(writer.getvalue())
         with pytest.raises(SerializationError):
             reader.read_bytes()
+
+
+class TestBulkBytes:
+    def test_aligned_read_bytes_is_sliced_verbatim(self):
+        blob = bytes(range(256)) * 64
+        writer = BitWriter()
+        writer.write_bytes(blob)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bytes() == blob
+        reader.expect_end()
+
+    def test_unaligned_read_bytes_roundtrip(self):
+        blob = bytes((i * 37) & 0xFF for i in range(10_000))
+        writer = BitWriter()
+        writer.write_uint(5, 3)  # knock the stream off byte alignment
+        writer.write_bytes(blob)
+        writer.write_uint(2, 2)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_uint(3) == 5
+        assert reader.read_bytes() == blob
+        assert reader.read_uint(2) == 2
+
+    def test_empty_read_bytes(self):
+        writer = BitWriter()
+        writer.write_uint(1, 1)
+        writer.write_bytes(b"")
+        reader = BitReader(writer.getvalue())
+        assert reader.read_uint(1) == 1
+        assert reader.read_bytes() == b""
+
+
+class TestLinearScaling:
+    """Regression guard for the old big-int-per-field BitReader.
+
+    The previous reader parsed the whole message into one Python integer and
+    shifted it per field, making a byte-wise scan of an ``n``-byte payload
+    O(n^2).  The cursor-based reader must scan in (near-)linear time: the
+    measured cost ratio between a 1 MB and a 128 KB scan stays near the size
+    ratio (8x) instead of its square (64x).
+    """
+
+    @staticmethod
+    def _scan_seconds(n_bytes: int) -> float:
+        payload = bytes(256 * (n_bytes // 256))
+        reader = BitReader(payload)
+        reader.read_uint(3)  # unaligned: the worst case for the cursor
+        fields = n_bytes - 1
+        start = time.perf_counter()
+        for _ in range(fields):
+            reader.read_uint(8)
+        return time.perf_counter() - start
+
+    def test_bytewise_scan_is_near_linear(self):
+        small, large = 128 * 1024, 1024 * 1024
+        # Warm-up pass stabilises allocator effects; min-of-3 on BOTH sizes
+        # keeps a transient stall on either measurement from skewing the
+        # ratio on loaded CI machines.
+        self._scan_seconds(small)
+        t_small = min(self._scan_seconds(small) for _ in range(3))
+        t_large = min(self._scan_seconds(large) for _ in range(3))
+        ratio = t_large / max(t_small, 1e-9)
+        # Linear scaling gives ~8x; the old quadratic reader gave ~64x.
+        # The bound leaves ample room for timer noise while still failing
+        # decisively on quadratic behaviour.
+        assert ratio < 24, (
+            f"byte-wise reads scale super-linearly: {small}B took {t_small:.4f}s, "
+            f"{large}B took {t_large:.4f}s (ratio {ratio:.1f}x, expected ~8x)"
+        )
+
+    def test_megabyte_scan_absolute_budget(self):
+        # A 1 MB byte-wise scan is ~1M small reads; even slow CI boxes finish
+        # well under this cap, while the quadratic reader took minutes.
+        assert self._scan_seconds(1024 * 1024) < 5.0
+
+    def test_megabyte_writer_is_linear(self):
+        blob = bytes(1024) * 1024
+        writer = BitWriter()
+        writer.write_uint(1, 3)  # keep every append unaligned
+        start = time.perf_counter()
+        for byte in blob[: 256 * 1024]:
+            writer.write_uint(byte, 8)
+        writer.write_bytes(blob)
+        elapsed = time.perf_counter() - start
+        assert writer.getvalue()  # materialise
+        assert elapsed < 5.0
