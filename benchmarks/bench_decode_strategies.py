@@ -1,0 +1,186 @@
+"""B3 — batch vs scalar peeling decode (the perf-regression harness).
+
+Claim under test: the round-based batch decoder (PR 3) peels large
+subtracted tables at array speed — ≥5x faster than the scalar reference on
+the vector backend at difference sizes ≥ 2e4 — while recovering identical
+key sets.
+
+Two entry points:
+
+``test_decode_strategies_smoke``
+    Small, CI-sized run.  **Fails if batch decode is slower than scalar on
+    the numpy backend** — the regression tripwire the CI bench-smoke job
+    relies on.  Writes ``benchmarks/results/b3_decode_smoke.json``.
+
+``test_decode_strategies_full``
+    The recorded baseline: encode / decode-scalar / decode-batch / end-to-
+    end timings per backend at difference sizes 2e4 and 5e4.  Writes
+    ``benchmarks/results/BENCH_3.json`` and mirrors it to the repo root so
+    future PRs have a perf trajectory to diff against:
+
+        PYTHONPATH=src python -m pytest benchmarks/bench_decode_strategies.py -k full
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import time
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import reconcile
+from repro.iblt.backends import available_backends
+from repro.iblt.decode import decode
+from repro.iblt.table import IBLT, IBLTConfig, recommended_cells
+from repro.workloads.synthetic import perturbed_pair
+
+Q = 4
+FULL_SIZES = (20_000, 50_000)
+SMOKE_SIZE = 2_000
+END_TO_END_N = 10_000
+TIMING_ROUNDS = 3  # best-of-N, same discipline for both strategies
+
+
+def _build_subtracted(diff_size: int, backend: str, seed: int = 0):
+    """A subtracted table holding a two-sided difference of ``diff_size``."""
+    rng = random.Random(seed)
+    config = IBLTConfig(cells=recommended_cells(diff_size, q=Q), q=Q, seed=seed)
+    alice_keys = [rng.getrandbits(60) for _ in range(diff_size // 2)]
+    bob_keys = [rng.getrandbits(60) for _ in range(diff_size - diff_size // 2)]
+    alice = IBLT(config, backend=backend)
+    bob = IBLT(config, backend=backend)
+    start = time.perf_counter()
+    alice.insert_many(alice_keys)
+    encode_s = time.perf_counter() - start
+    bob.insert_many(bob_keys)
+    return alice.subtract(bob), encode_s, alice_keys, bob_keys
+
+
+def _timed_decode(diff, strategy: str):
+    """Best-of-``TIMING_ROUNDS`` wall time (identical discipline for both
+    strategies, so the recorded speedups are apples-to-apples)."""
+    best = float("inf")
+    for _ in range(TIMING_ROUNDS):
+        start = time.perf_counter()
+        result = decode(diff, strategy=strategy)
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def _measure(diff_size: int, backend: str) -> dict:
+    diff, encode_s, alice_keys, bob_keys = _build_subtracted(diff_size, backend)
+    scalar, scalar_s = _timed_decode(diff, "scalar")
+    batch, batch_s = _timed_decode(diff, "batch")
+
+    assert scalar.success and batch.success, "benchmark table failed to peel"
+    assert sorted(batch.alice_keys) == sorted(alice_keys) == sorted(scalar.alice_keys)
+    assert sorted(batch.bob_keys) == sorted(bob_keys) == sorted(scalar.bob_keys)
+    return {
+        "backend": backend,
+        "diff_size": diff_size,
+        "cells": diff.config.cells,
+        "q": Q,
+        "encode_s": round(encode_s, 6),
+        "decode_scalar_s": round(scalar_s, 6),
+        "decode_batch_s": round(batch_s, 6),
+        "speedup": round(scalar_s / batch_s, 2),
+    }
+
+
+def _end_to_end(backend: str) -> dict:
+    workload = perturbed_pair(0, END_TO_END_N, 2**16, 2, 16, 3.0)
+    config = ProtocolConfig(
+        delta=2**16, dimension=2, k=32, seed=0, backend=backend
+    )
+    start = time.perf_counter()
+    result = reconcile(workload.alice, workload.bob, config)
+    elapsed = time.perf_counter() - start
+    return {
+        "backend": backend,
+        "n": END_TO_END_N,
+        "protocol_s": round(elapsed, 6),
+        "level": result.level,
+    }
+
+
+def _render(runs: list[dict]) -> str:
+    header = (
+        f"{'backend':>8} {'diff':>7} {'encode (s)':>11} "
+        f"{'scalar (s)':>11} {'batch (s)':>10} {'speedup':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for run in runs:
+        lines.append(
+            f"{run['backend']:>8} {run['diff_size']:>7} "
+            f"{run['encode_s']:>11.3f} {run['decode_scalar_s']:>11.3f} "
+            f"{run['decode_batch_s']:>10.4f} {run['speedup']:>7.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def test_decode_strategies_smoke(benchmark, emit, emit_json):
+    """CI tripwire: batch must not be slower than scalar on the vector
+    backend at the smoke size (and must agree with it everywhere)."""
+    backends = available_backends()
+
+    def run():
+        return [_measure(SMOKE_SIZE, backend) for backend in backends]
+
+    runs = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    emit("b3_decode_smoke", "B3 smoke: batch vs scalar decode\n" + _render(runs))
+    emit_json(
+        "b3_decode_smoke",
+        {"experiment": "b3_smoke", "smoke_size": SMOKE_SIZE, "runs": runs},
+    )
+    if "numpy" in backends:
+        vector = next(run for run in runs if run["backend"] == "numpy")
+        assert vector["decode_batch_s"] <= vector["decode_scalar_s"], (
+            f"perf regression: batch decode ({vector['decode_batch_s']:.4f}s) "
+            f"slower than scalar ({vector['decode_scalar_s']:.4f}s) on the "
+            f"vector backend at diff={SMOKE_SIZE}"
+        )
+
+
+def test_decode_strategies_full(benchmark, emit, emit_json, results_dir):
+    """The recorded PR-3 baseline (BENCH_3.json)."""
+    backends = available_backends()
+
+    def run():
+        runs = [
+            _measure(size, backend)
+            for backend in backends
+            for size in FULL_SIZES
+        ]
+        end_to_end = [_end_to_end(backend) for backend in backends]
+        return runs, end_to_end
+
+    runs, end_to_end = benchmark.pedantic(
+        run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    payload = {
+        "bench": "BENCH_3",
+        "experiment": "decode strategies (batch vs scalar peeling)",
+        "sizes": list(FULL_SIZES),
+        "runs": runs,
+        "end_to_end": end_to_end,
+    }
+    emit("b3_decode_strategies", "B3: batch vs scalar decode\n" + _render(runs))
+    emit_json("BENCH_3", payload)
+    # Mirror the baseline to the repo root (the perf-trajectory anchor).
+    root_copy = pathlib.Path(__file__).resolve().parent.parent / "BENCH_3.json"
+    root_copy.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    if "numpy" in backends:
+        worst = min(
+            run["speedup"] for run in runs if run["backend"] == "numpy"
+        )
+        assert worst >= 5.0, (
+            f"acceptance: batch decode must be >=5x scalar on the vector "
+            f"backend at diff sizes >= 2e4; measured {worst:.1f}x"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual convenience runner
+    pytest.main([__file__, "-k", "full", "-q"])

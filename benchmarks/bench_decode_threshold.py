@@ -21,13 +21,14 @@ TRIALS = 60
 QS = (3, 4, 5)
 
 
-def experiment() -> str:
+def experiment() -> tuple[str, list[dict]]:
     table = Table(
         ["load (keys/cell)"] + [f"q={q} success" for q in QS],
         title=f"E6: peeling success rate vs load  ({CELLS} cells, "
               f"{TRIALS} trials; thresholds "
               + ", ".join(f"q={q}:{PEELING_THRESHOLDS[q]}" for q in QS) + ")",
     )
+    records: list[dict] = []
     for load in LOADS:
         row = [f"{load:.2f}"]
         n_keys = int(load * CELLS)
@@ -44,9 +45,21 @@ def experiment() -> str:
                 if decode(sketch).success:
                     successes += 1
             row.append(f"{successes / TRIALS:.2f}")
+            records.append(
+                {
+                    "load": load,
+                    "q": q,
+                    "cells": cells,
+                    "trials": TRIALS,
+                    "success_rate": successes / TRIALS,
+                    "threshold": PEELING_THRESHOLDS[q],
+                }
+            )
         table.add_row(row)
-    return table.render()
+    return table.render(), records
 
 
-def test_decode_threshold(benchmark, emit):
-    emit("e6_decode_threshold", run_once(benchmark, experiment))
+def test_decode_threshold(benchmark, emit, emit_json):
+    text, records = run_once(benchmark, experiment)
+    emit("e6_decode_threshold", text)
+    emit_json("e6_decode_threshold", {"experiment": "e6", "rows": records})

@@ -28,11 +28,12 @@ def build(n: int):
     return workload, HierarchicalReconciler(config)
 
 
-def experiment() -> str:
+def experiment() -> tuple[str, list[dict]]:
     table = Table(
         ["n", "encode (s)", "decode (s)", "encode us/point"],
         title=f"E7: runtime vs n  (delta=2^20, d=2, k={2 * TRUE_K})",
     )
+    records: list[dict] = []
     for n in SIZES:
         workload, reconciler = build(n)
         start = time.perf_counter()
@@ -45,18 +46,38 @@ def experiment() -> str:
             n, f"{encode_s:.2f}", f"{decode_s:.2f}",
             f"{1e6 * encode_s / n:.0f}",
         ])
-    return table.render()
+        records.append(
+            {
+                "n": n,
+                "encode_s": encode_s,
+                "decode_s": decode_s,
+                "encode_us_per_point": 1e6 * encode_s / n,
+            }
+        )
+    return table.render(), records
 
 
-def test_runtime_table(benchmark, emit):
+def test_runtime_table(benchmark, emit, emit_json):
     """Manual sweep table; the timed kernel below gives the stable number."""
     result_holder = {}
 
     def run():
-        result_holder["text"] = experiment()
+        text, records = experiment()
+        result_holder["text"] = text
+        result_holder["records"] = records
 
     benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
     emit("e7_runtime", result_holder["text"])
+    emit_json(
+        "e7_runtime",
+        {
+            "experiment": "e7",
+            "delta_log2": 20,
+            "dimension": 2,
+            "k": 2 * TRUE_K,
+            "rows": result_holder["records"],
+        },
+    )
 
 
 def test_encode_kernel(benchmark):

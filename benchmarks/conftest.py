@@ -7,6 +7,7 @@ output capture.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -30,5 +31,24 @@ def emit(results_dir, capsys):
         path.write_text(text + "\n")
         with capsys.disabled():
             print(f"\n{text}\n[saved to {path}]")
+
+    return _emit
+
+
+@pytest.fixture()
+def emit_json(results_dir, capsys):
+    """Persist one experiment's machine-readable record as ``<name>.json``.
+
+    The JSON siblings of the rendered tables are what CI jobs and future
+    perf-trajectory tooling consume (see ``BENCH_3.json``); keep the
+    payloads plain dicts/lists of JSON scalars.
+    """
+
+    def _emit(name: str, payload) -> pathlib.Path:
+        path = results_dir / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        with capsys.disabled():
+            print(f"[json saved to {path}]")
+        return path
 
     return _emit

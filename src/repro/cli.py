@@ -35,6 +35,7 @@ from repro.core.config import ProtocolConfig
 from repro.core.protocol import reconcile
 from repro.errors import ReproError
 from repro.iblt.backends import available_backends, backend_names
+from repro.iblt.decode import DECODE_STRATEGIES
 from repro.scale import reconcile_sharded
 from repro.scale.executors import executors_available
 from repro.workloads.geo import geo_pair
@@ -73,6 +74,11 @@ def _build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--adaptive", action="store_true",
                      help="use the two-round adaptive protocol")
     rec.add_argument("--backend", **backend_kwargs)
+    rec.add_argument("--decode-strategy", choices=DECODE_STRATEGIES,
+                     default="batch", dest="decode_strategy",
+                     help="IBLT peeling strategy: batch (round-based, "
+                          "vectorized) or scalar (reference peel; "
+                          "diagnostics)")
     rec.add_argument("--shards", type=int, default=1,
                      help="spatial shards for the sharded engine (default: 1 "
                           "= monolithic protocol)")
@@ -151,6 +157,7 @@ def cmd_reconcile(args) -> int:
         delta=data["delta"], dimension=data["dimension"], k=args.k,
         seed=args.seed, backend=args.backend, shards=args.shards,
         workers=args.workers, executor=args.executor,
+        decode_strategy=args.decode_strategy,
     )
     if args.shards > 1:
         runner = reconcile_sharded

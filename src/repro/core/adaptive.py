@@ -135,7 +135,9 @@ class AdaptiveReconciler:
                 reader, self._estimator_config(level)
             )
             mine = self._build_estimator(alice_points, level)
-            estimates[level] = mine.estimate_difference(bob_estimator)
+            estimates[level] = mine.estimate_difference(
+                bob_estimator, strategy=self.config.decode_strategy
+            )
         reader.expect_end()
 
         window = self._choose_window(estimates)
@@ -222,6 +224,7 @@ class AdaptiveReconciler:
             result = decode(
                 alice_table.subtract(bob_table),
                 max_items=4 * alice_table.config.capacity + 8,
+                strategy=self.config.decode_strategy,
             )
             if not result.success:
                 continue

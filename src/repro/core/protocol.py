@@ -142,7 +142,11 @@ class HierarchicalReconciler:
                     bob_points, level, by_level[level].table.config.cells
                 )
                 diff = by_level[level].table.subtract(bob_table)
-                result = decode(diff, max_items=self.config.decode_item_limit)
+                result = decode(
+                    diff,
+                    max_items=self.config.decode_item_limit,
+                    strategy=self.config.decode_strategy,
+                )
                 if result.success and not self._balanced(
                     result, sketch.n_points, len(bob_points)
                 ):

@@ -128,7 +128,47 @@ class Backend(abc.ABC):
         Backends may override with a batch scan; the result order is part
         of the contract (it fixes the peel order across backends).
         """
-        return [i for i in range(self.config.cells) if self.cell_is_pure(i)]
+        return [int(index) for index in self.pure_mask()[0]]
+
+    # ------------------------------------------------------- batch peeling
+    #
+    # The round-based decoder (see :mod:`repro.iblt.decode`) drives peeling
+    # through three bulk primitives so array backends can do whole rounds
+    # without a per-key Python round-trip.  The reference implementations
+    # below are defined in terms of the scalar operations, so any backend
+    # gets a correct (if slow) batch decode for free; the returned sequence
+    # types are backend-native (lists here, arrays on vector backends).
+
+    def pure_mask(self) -> tuple[Sequence[int], Sequence[int]]:
+        """Parallel ``(indices, signs)`` of every pure cell, index-ascending.
+
+        ``signs[j]`` is the ``cell_is_pure`` verdict (``+1``/``-1``) of cell
+        ``indices[j]``.  The ascending order is part of the contract: it
+        fixes the batch decoder's round-major peel order across backends.
+        """
+        indices: list[int] = []
+        signs: list[int] = []
+        for index in range(self.config.cells):
+            sign = self.cell_is_pure(index)
+            if sign:
+                indices.append(index)
+                signs.append(sign)
+        return indices, signs
+
+    def gather_cells(self, indices: Sequence[int]) -> Sequence[int]:
+        """The ``key_sum`` field of each listed cell, in the given order."""
+        return [self.cell(int(index))[1] for index in indices]
+
+    def scatter_update(self, keys: Sequence[int], signs: Sequence[int]) -> None:
+        """Remove a batch of peeled keys from their cells.
+
+        Equivalent to ``for key, sign in zip(keys, signs): self.apply(key,
+        -sign)`` — a positive-sign (Alice-side) key is deleted, a
+        negative-sign (Bob-side) key re-inserted.  Keys come from the
+        table's own ``key_sum`` fields, so they are already width-valid.
+        """
+        for key, sign in zip(keys, signs):
+            self.apply(int(key), -int(sign))
 
     # ----------------------------------------------------------- validation
 

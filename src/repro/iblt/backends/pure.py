@@ -81,3 +81,37 @@ class PureBackend(Backend):
             for count, key, check in zip(self.counts, self.key_sums, self.check_sums)
             if count or key or check
         )
+
+    # ------------------------------------------------------- batch peeling
+
+    def pure_mask(self):
+        # One fused pass over the three lists instead of a cell() tuple
+        # build plus checksum per index (the decoder calls this every round).
+        premix = self._check_premix
+        mask = self._check_mask
+        indices: list[int] = []
+        signs: list[int] = []
+        for index, (count, key, check) in enumerate(
+            zip(self.counts, self.key_sums, self.check_sums)
+        ):
+            if count == 1 or count == -1:
+                if splitmix64(premix ^ splitmix64(key)) & mask == check:
+                    indices.append(index)
+                    signs.append(count)
+        return indices, signs
+
+    def gather_cells(self, indices):
+        key_sums = self.key_sums
+        return [key_sums[index] for index in indices]
+
+    def scatter_update(self, keys, signs) -> None:
+        # apply(key, -sign) without re-validating keys that came straight
+        # out of this table's own key_sum fields.
+        counts, key_sums, check_sums = self.counts, self.key_sums, self.check_sums
+        for key, sign in zip(keys, signs):
+            key_mix = splitmix64(key)
+            check = splitmix64(self._check_premix ^ key_mix) & self._check_mask
+            for index in self._hashes.indices_from_mix(key_mix):
+                counts[index] -= sign
+                key_sums[index] ^= key
+                check_sums[index] ^= check

@@ -141,6 +141,16 @@ class NumpyBackend(Backend):
         arr = self._as_key_array(keys)
         if arr.size == 0:
             return
+        self._scatter(arr, delta)
+
+    def _scatter(self, arr: "_np.ndarray", deltas) -> None:
+        """Scatter count deltas and key/checksum XORs into every key's cells.
+
+        ``deltas`` is a scalar (batch insert/delete) or a per-key int64
+        array (peel removals).  The sole home of the vectorized cell
+        placement — it must mirror the reference formula in
+        :meth:`~repro.iblt.hashing.HashFamily.indices_from_mix` exactly.
+        """
         key_mix = _splitmix64_vec(arr)
         checks = _splitmix64_vec(self._premix_u64 ^ key_mix) & self._mask_u64
         partition = _U64(self._partition)
@@ -151,7 +161,7 @@ class NumpyBackend(Backend):
             )
             indices += i * self._partition
             # Unbuffered scatter: duplicate indices accumulate sequentially.
-            _np.add.at(self.counts, indices, delta)
+            _np.add.at(self.counts, indices, deltas)
             _np.bitwise_xor.at(self.key_sums, indices, arr)
             _np.bitwise_xor.at(self.check_sums, indices, checks)
 
@@ -207,13 +217,30 @@ class NumpyBackend(Backend):
     # ------------------------------------------------------------- peeling
 
     def pure_cells(self) -> list[int]:
+        return self.pure_mask()[0].tolist()
+
+    def pure_mask(self):
+        """Vectorized pure-cell scan: one sign test + one checksum pass."""
         candidates = _np.flatnonzero(_np.abs(self.counts) == 1)
-        if candidates.size == 0:
-            return []
         keys = self.key_sums[candidates]
         expected = (
             _splitmix64_vec(self._premix_u64 ^ _splitmix64_vec(keys))
             & self._mask_u64
         )
         verified = candidates[self.check_sums[candidates] == expected]
-        return verified.tolist()
+        return verified, self.counts[verified]
+
+    def gather_cells(self, indices):
+        return self.key_sums[indices]
+
+    def scatter_update(self, keys, signs) -> None:
+        """One vectorized round of peel removals (``apply(key, -sign)``).
+
+        Reuses the batch scatter kernel with per-key deltas, so keys
+        sharing cells within one round accumulate exactly like sequential
+        removals.
+        """
+        keys = _np.asarray(keys, dtype=_U64)
+        if keys.size == 0:
+            return
+        self._scatter(keys, -_np.asarray(signs, dtype=_np.int64))

@@ -10,13 +10,47 @@ The process is exactly the 2-core peeling of a random ``q``-uniform
 hypergraph: it recovers everything iff the hypergraph of remaining keys has
 an empty 2-core, which holds w.h.p. while the number of difference keys is
 below ``PEELING_THRESHOLDS[q] * cells``.
+
+Two strategies implement the same peeling:
+
+``"batch"`` (default)
+    Round-based: each round finds *all* currently pure cells with one
+    vectorized scan (:meth:`~repro.iblt.table.IBLT.pure_mask`), gathers
+    their keys, and scatter-applies every removal in one bulk pass
+    (:meth:`~repro.iblt.table.IBLT.scatter_update`), repeating until no
+    pure cell remains.  On array backends a whole round costs a handful of
+    numpy kernels instead of a Python round-trip per key.
+
+``"scalar"``
+    The classic one-key-at-a-time stack peel, kept for diagnostics and as
+    the differential-testing oracle.
+
+Because peeling is confluent — every genuinely pure cell holds exactly one
+net key, so removing one key never invalidates another simultaneously-pure
+cell — both strategies recover identical key *sets* (same ``success``,
+``alice_keys`` / ``bob_keys`` as multisets, same ``remaining_cells``) on
+every input that does not trip the ``max_items`` guard; the differential
+suite (``tests/test_decode_batch.py``) enforces this across backends.  Only
+``peel_order`` differs: the batch decoder's order is **round-major,
+index-ascending** (all round-1 extractions in cell-index order, then round
+2, …), while the scalar decoder's is stack-driven.  On a guard abort both
+report ``success=False``, but the partial key lists are strategy-specific.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigError
 from repro.iblt.table import IBLT
+
+try:  # soft dependency: only the batch-round dedup has a numpy fast path
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
+#: Peeling strategies accepted by :func:`decode`.
+DECODE_STRATEGIES = ("batch", "scalar")
 
 
 @dataclass
@@ -35,6 +69,8 @@ class DecodeResult:
         Non-empty cells left when peeling stalled (0 on success).
     peel_order:
         Keys in the order they were extracted (diagnostics / ablations).
+        Round-major and index-ascending under the batch strategy,
+        stack-driven under the scalar one.
     """
 
     success: bool
@@ -49,7 +85,9 @@ class DecodeResult:
         return len(self.alice_keys) + len(self.bob_keys)
 
 
-def decode(table: IBLT, *, max_items: int | None = None) -> DecodeResult:
+def decode(
+    table: IBLT, *, max_items: int | None = None, strategy: str = "batch"
+) -> DecodeResult:
     """Peel ``table`` (non-destructively) and return the recovered difference.
 
     Parameters
@@ -66,16 +104,91 @@ def decode(table: IBLT, *, max_items: int | None = None) -> DecodeResult:
         checksum admitting a garbage key — can otherwise churn the table
         forever (every bogus extraction re-perturbs cells and can expose
         further bogus "pure" cells).  The cap turns that pathology into a
-        clean failure.
+        clean failure.  The scalar strategy checks it per extraction, the
+        batch strategy per round.
+    strategy:
+        ``"batch"`` (default) or ``"scalar"`` — see the module docstring.
+        Both recover the same key sets; only ``peel_order`` differs.
 
     Notes
     -----
     The copy-then-peel costs O(cells + difference); tables in this library
     are O(k)-sized so this is cheap compared to hashing the input sets.
     """
+    if strategy not in DECODE_STRATEGIES:
+        raise ConfigError(
+            f"decode strategy must be one of {DECODE_STRATEGIES}, got {strategy!r}"
+        )
     if max_items is None:
         max_items = 2 * table.config.cells
     work = table.copy()
+    if strategy == "scalar":
+        return _peel_scalar(work, max_items)
+    return _peel_batch(work, max_items)
+
+
+# ------------------------------------------------------------- batch rounds
+
+
+def _dedup_first_key(keys, signs):
+    """Drop repeated keys within one round, keeping the first occurrence.
+
+    A key alone in two of its ``q`` cells shows up behind *both* pure
+    cells; extracting it twice in one round would corrupt the table (the
+    scalar peel naturally skips the second cell, which turns impure after
+    the first extraction).  Order is preserved, so the round stays
+    index-ascending.
+    """
+    if _np is not None and isinstance(keys, _np.ndarray):
+        unique, first = _np.unique(keys, return_index=True)
+        if unique.size == keys.size:
+            return keys, signs
+        order = _np.sort(first)
+        return keys[order], signs[order]
+    seen: set[int] = set()
+    out_keys: list[int] = []
+    out_signs: list[int] = []
+    for key, sign in zip(keys, signs):
+        if key not in seen:
+            seen.add(key)
+            out_keys.append(key)
+            out_signs.append(sign)
+    return out_keys, out_signs
+
+
+def _peel_batch(work: IBLT, max_items: int) -> DecodeResult:
+    """Round-based peel: find every pure cell, extract all keys, repeat."""
+    result = DecodeResult(success=False)
+    while True:
+        indices, signs = work.pure_mask()
+        if len(indices) == 0:
+            break
+        keys = work.gather_cells(indices)
+        keys, signs = _dedup_first_key(keys, signs)
+        # Backend-native arrays feed the scatter; the result lists hold
+        # Python ints (what every protocol layer downstream expects).
+        key_list = keys.tolist() if hasattr(keys, "tolist") else keys
+        sign_list = signs.tolist() if hasattr(signs, "tolist") else signs
+        for key, sign in zip(key_list, sign_list):
+            if sign > 0:
+                result.alice_keys.append(key)
+            else:
+                result.bob_keys.append(key)
+            result.peel_order.append((key, sign))
+        work.scatter_update(keys, signs)
+        if result.difference_size > max_items:
+            result.remaining_cells = work.nonzero_cells()
+            return result
+    result.success = work.is_empty()
+    result.remaining_cells = work.nonzero_cells()
+    return result
+
+
+# ------------------------------------------------------------- scalar stack
+
+
+def _peel_scalar(work: IBLT, max_items: int) -> DecodeResult:
+    """The reference one-key-at-a-time peel (stack-driven order)."""
     result = DecodeResult(success=False)
 
     # Batch scan (vectorized on array backends); ascending order fixes the

@@ -32,7 +32,6 @@ def splitmix64(value: int) -> int:
     Values wider than 64 bits are first folded down by XOR-ing 64-bit limbs,
     so arbitrarily wide packed keys can be hashed directly.
     """
-    value &= ~0  # ensure int
     if value < 0:
         raise ValueError(f"splitmix64 input must be non-negative, got {value}")
     while value > MASK64:
@@ -138,9 +137,13 @@ class TabulationHash:
     def __init__(self, seed: int):
         rng = random.Random(seed)
         self.seed = seed
-        self._tables = [
-            [rng.getrandbits(64) for _ in range(256)] for _ in range(8)
-        ]
+        # Immutable tables, filled in one pass (no list build + convert).
+        # The draw order is load-bearing: one getrandbits(64) per entry,
+        # row-major, keeps the values (and thus strata wire bytes) identical
+        # to every previously recorded transcript.
+        self._tables = tuple(
+            tuple(rng.getrandbits(64) for _ in range(256)) for _ in range(8)
+        )
 
     def __call__(self, value: int) -> int:
         """Hash a non-negative integer (wider inputs are folded to 64 bits)."""
@@ -162,8 +165,5 @@ def trailing_zeros(value: int, limit: int) -> int:
     """
     if value == 0:
         return limit
-    count = 0
-    while count < limit and not value & 1:
-        value >>= 1
-        count += 1
-    return count
+    count = (value & -value).bit_length() - 1  # position of lowest set bit
+    return count if count < limit else limit

@@ -257,6 +257,22 @@ class IBLT:
         """Indices of all currently pure cells, ascending."""
         return self._backend.pure_cells()
 
+    def pure_mask(self):
+        """Parallel ``(indices, signs)`` of all pure cells, index-ascending.
+
+        Backend-native sequences (numpy arrays on the vector backend); the
+        batch decoder's per-round scan.
+        """
+        return self._backend.pure_mask()
+
+    def gather_cells(self, indices):
+        """The ``key_sum`` field of each listed cell (backend-native)."""
+        return self._backend.gather_cells(indices)
+
+    def scatter_update(self, keys, signs) -> None:
+        """Bulk-remove peeled keys: ``apply(key, -sign)`` per pair."""
+        self._backend.scatter_update(keys, signs)
+
     def copy(self) -> "IBLT":
         """Deep copy (used by the decoder, which peels destructively)."""
         return IBLT._wrap(self.config, self._backend.copy())

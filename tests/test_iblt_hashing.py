@@ -32,6 +32,13 @@ class TestSplitmix64:
         with pytest.raises(ValueError):
             splitmix64(-1)
 
+    def test_negative_wide_input_rejected_before_folding(self):
+        # The wide-fold path must never run on negative inputs: the sign
+        # check fires first, however many 64-bit limbs the value spans.
+        for wide in (-(1 << 64), -(1 << 100), -((1 << 200) | 7)):
+            with pytest.raises(ValueError):
+                splitmix64(wide)
+
     def test_avalanche_smoke(self):
         # Flipping one input bit should flip roughly half the output bits.
         a = splitmix64(0xDEADBEEF)
@@ -104,6 +111,22 @@ class TestTabulationHash:
         with pytest.raises(ValueError):
             TabulationHash(5)(-1)
 
+    def test_tables_are_immutable_tuples(self):
+        # The tables are shared, hot state; tuples guard against accidental
+        # mutation and pin the draw order (one getrandbits(64) per entry).
+        tables = TabulationHash(3)._tables
+        assert isinstance(tables, tuple) and len(tables) == 8
+        assert all(isinstance(row, tuple) and len(row) == 256 for row in tables)
+
+    def test_values_match_reference_draw_order(self):
+        # Frozen contract: entry [i][j] is the (256*i + j)-th getrandbits(64)
+        # of random.Random(seed) — strata wire bytes depend on it.
+        import random as _random
+
+        rng = _random.Random(9)
+        expected_first_row = [rng.getrandbits(64) for _ in range(256)]
+        assert list(TabulationHash(9)._tables[0]) == expected_first_row
+
 
 class TestTrailingZeros:
     def test_basic(self):
@@ -116,3 +139,17 @@ class TestTrailingZeros:
 
     def test_cap(self):
         assert trailing_zeros(1 << 30, 5) == 5
+
+    def test_matches_shift_loop_reference(self):
+        def reference(value, limit):
+            if value == 0:
+                return limit
+            count = 0
+            while count < limit and not value & 1:
+                value >>= 1
+                count += 1
+            return count
+
+        for value in list(range(0, 300)) + [1 << 40, (1 << 63) | (1 << 12), 2**70]:
+            for limit in (0, 1, 5, 32, 64):
+                assert trailing_zeros(value, limit) == reference(value, limit)
