@@ -1,0 +1,189 @@
+"""B4 — Asyncio reconciliation service: sessions/sec and sync latency.
+
+Measures the serve layer end-to-end over loopback TCP: one in-process
+:class:`~repro.serve.ReconciliationServer` (Alice), a fleet of async
+clients (Bobs) issuing complete syncs — handshake, session, repair — at
+bounded concurrency.  Reports sessions/sec plus p50/p95 per-sync latency
+at concurrency 1 / 8 / 32, for the one-round and adaptive variants.
+
+What to expect: the server caches Alice's deterministic payload per
+variant, so a one-round session costs it little CPU and throughput is
+dominated by the Bob-side decode (which this in-process harness also
+runs on the same loop); adaptive sessions pay Alice-side estimator and
+window work per request and run ~6x slower.  Everything shares one
+event loop, so sessions/sec moves only mildly with concurrency while
+p95 latency grows ~linearly with it (queueing) — the signature of a
+CPU-bound asyncio service; scale-out across cores is a process-per-port
+deployment's job.
+
+The JSON record (``b4_serve.json`` / ``b4_serve_smoke.json``) is the
+machine-readable artifact CI and perf-trajectory tooling consume.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import statistics
+import time
+
+from repro.analysis.tables import Table
+from repro.core.config import ProtocolConfig
+from repro.iblt.backends import available_backends
+from repro.serve import ReconciliationServer, sync
+from repro.workloads.synthetic import perturbed_pair
+
+DELTA = 2**16
+SEED = 0
+BACKEND = "numpy" if "numpy" in available_backends() else "pure"
+
+CONCURRENCY_LEVELS = (1, 8, 32)
+#: Complete syncs measured per concurrency level (after warmup).
+SYNCS_PER_LEVEL = 96
+WORKLOAD_N = 400
+TRUE_K = 8
+
+
+def _workload(n=WORKLOAD_N):
+    return perturbed_pair(SEED, n, DELTA, 2, TRUE_K, 2)
+
+
+def _config():
+    return ProtocolConfig(
+        delta=DELTA, dimension=2, k=2 * TRUE_K, seed=SEED, backend=BACKEND
+    )
+
+
+async def _measure_level(
+    server, config, bob_points, variant, concurrency, syncs
+):
+    """Run ``syncs`` complete syncs at bounded concurrency; time each."""
+    host, port = server.address
+    gate = asyncio.Semaphore(concurrency)
+    latencies = []
+
+    async def one_sync():
+        async with gate:
+            started = time.perf_counter()
+            result = await sync(
+                host, port, config, bob_points, variant=variant, timeout=60
+            )
+            latencies.append(time.perf_counter() - started)
+            return result
+
+    wall_start = time.perf_counter()
+    results = await asyncio.gather(*[one_sync() for _ in range(syncs)])
+    wall = time.perf_counter() - wall_start
+    sizes = {len(r.repaired) for r in results}
+    assert len(sizes) == 1, f"inconsistent repairs across syncs: {sizes}"
+    latencies.sort()
+
+    def quantile(q: float) -> float:
+        # Ceil-based index so the label matches the quantile at any
+        # sample count (int(n*q)-1 under-reports on small n).
+        return latencies[min(len(latencies) - 1, math.ceil(q * len(latencies)) - 1)]
+
+    return {
+        "variant": variant,
+        "concurrency": concurrency,
+        "syncs": syncs,
+        "wall_s": round(wall, 4),
+        "sessions_per_sec": round(syncs / wall, 2),
+        "p50_ms": round(1000 * quantile(0.50), 2),
+        "p95_ms": round(1000 * quantile(0.95), 2),
+        "mean_ms": round(1000 * statistics.mean(latencies), 2),
+    }
+
+
+async def _run(concurrency_levels, syncs, variants, n):
+    workload = _workload(n)
+    config = _config()
+    rows = []
+    async with ReconciliationServer(
+        config, workload.alice, max_sessions=max(concurrency_levels)
+    ) as server:
+        # Warm every variant once (grid construction, numpy first-call).
+        for variant in variants:
+            await sync(*server.address, config, workload.bob,
+                       variant=variant, timeout=60)
+        for variant in variants:
+            for concurrency in concurrency_levels:
+                rows.append(await _measure_level(
+                    server, config, workload.bob, variant, concurrency, syncs
+                ))
+    return rows
+
+
+def experiment(
+    concurrency_levels=CONCURRENCY_LEVELS,
+    syncs=SYNCS_PER_LEVEL,
+    variants=("one-round", "adaptive"),
+    n=WORKLOAD_N,
+):
+    """Run the benchmark; returns (rows, rendered table)."""
+    rows = asyncio.run(_run(concurrency_levels, syncs, variants, n))
+    table = Table(
+        [
+            "variant", "concurrency", "syncs", "sessions/s",
+            "p50 (ms)", "p95 (ms)", "mean (ms)",
+        ],
+        title=(
+            f"B4: asyncio serve layer over loopback TCP "
+            f"(n={n}, delta=2^16, k={2 * TRUE_K}, backend={BACKEND})"
+        ),
+    )
+    for row in rows:
+        table.add_row([
+            row["variant"], row["concurrency"], row["syncs"],
+            f"{row['sessions_per_sec']:.1f}", f"{row['p50_ms']:.1f}",
+            f"{row['p95_ms']:.1f}", f"{row['mean_ms']:.1f}",
+        ])
+    return rows, table.render()
+
+
+def _payload(rows, levels, n):
+    return {
+        "experiment": "b4_serve",
+        "transport": "loopback-tcp",
+        "backend": BACKEND,
+        "workload": {
+            "n": n, "delta": DELTA, "dimension": 2,
+            "true_k": TRUE_K, "k": 2 * TRUE_K, "seed": SEED,
+        },
+        "concurrency_levels": list(levels),
+        "rows": rows,
+    }
+
+
+def test_serve_bench(benchmark, emit, emit_json):
+    """The recorded run: sessions/sec + latency at concurrency 1/8/32."""
+    holder = {}
+
+    def run():
+        holder["rows"], holder["text"] = experiment()
+
+    benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    emit("b4_serve", holder["text"])
+    emit_json("b4_serve",
+              _payload(holder["rows"], CONCURRENCY_LEVELS, WORKLOAD_N))
+    measured = {row["concurrency"] for row in holder["rows"]}
+    assert set(CONCURRENCY_LEVELS) <= measured
+    for row in holder["rows"]:
+        assert row["sessions_per_sec"] > 0
+        assert row["p50_ms"] <= row["p95_ms"]
+
+
+def test_serve_smoke(emit, emit_json):
+    """CI smoke: the full pipeline at tiny scale (seconds, not minutes)."""
+    levels = (1, 4)
+    smoke_n = 120
+    rows, text = experiment(
+        concurrency_levels=levels, syncs=8, variants=("one-round",), n=smoke_n
+    )
+    emit("b4_serve_smoke", text)
+    emit_json("b4_serve_smoke", _payload(rows, levels, smoke_n))
+    assert all(row["sessions_per_sec"] > 0 for row in rows)
+
+
+if __name__ == "__main__":
+    print(experiment()[1])

@@ -12,7 +12,25 @@ import pathlib
 
 import pytest
 
+from repro.net.transcript import Transcript
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _jsonify(obj):
+    """Serialise benchmark-native objects (measured transcripts) cleanly.
+
+    Benchmarks drop whole :class:`~repro.net.transcript.Transcript`
+    objects into their payloads; this hook renders them via
+    ``Transcript.to_dict()`` instead of every benchmark plucking fields
+    by hand.
+    """
+    if isinstance(obj, Transcript):
+        return obj.to_dict()
+    raise TypeError(
+        f"benchmark JSON payloads must be JSON scalars or Transcript, "
+        f"got {type(obj).__name__}"
+    )
 
 
 @pytest.fixture(scope="session")
@@ -46,7 +64,10 @@ def emit_json(results_dir, capsys):
 
     def _emit(name: str, payload) -> pathlib.Path:
         path = results_dir / f"{name}.json"
-        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        path.write_text(
+            json.dumps(payload, indent=1, sort_keys=True, default=_jsonify)
+            + "\n"
+        )
         with capsys.disabled():
             print(f"[json saved to {path}]")
         return path

@@ -40,6 +40,16 @@ multi-core encode/decode, and per-shard sketch sizing.  See
 :func:`repro.scale.reconcile_sharded` and
 :class:`repro.scale.ShardedIncrementalSketch`.
 
+Serving over a network
+----------------------
+Every protocol variant is a sans-I/O session state machine
+(:mod:`repro.session`); the ``reconcile*`` functions above are thin
+drivers pumping those sessions over a simulated channel.
+:mod:`repro.serve` pumps the same sessions over real TCP: an asyncio
+server (Alice) with a handshake, bounded session concurrency, and
+per-session stats, plus an async client (Bob) — wire bytes identical to
+the simulated runs.  CLI: ``python -m repro serve`` / ``repro sync``.
+
 See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
 reproduced evaluation.
 """
@@ -60,8 +70,9 @@ from repro.errors import (
     ReconciliationFailure,
     ReproError,
     SerializationError,
+    SessionError,
 )
-from repro.net.channel import Direction, SimulatedChannel
+from repro.net.channel import Direction, LoopbackChannel, SimulatedChannel
 from repro.net.transcript import Transcript
 from repro.scale import (
     ShardedIncrementalSketch,
@@ -85,11 +96,13 @@ __all__ = [
     "DecodeFailure",
     "Direction",
     "HierarchicalReconciler",
+    "LoopbackChannel",
     "ProtocolConfig",
     "ReconcileResult",
     "ReconciliationFailure",
     "ReproError",
     "SerializationError",
+    "SessionError",
     "ShardedIncrementalSketch",
     "ShardedReconciler",
     "ShardedResult",

@@ -14,13 +14,21 @@ Commands
 ``info``
     Print the analytic communication/accuracy predictions for a
     configuration without touching any data.
+``serve``
+    Run the asyncio reconciliation server: hold Alice's point set and
+    serve any protocol variant over TCP (one session per connection).
+``sync``
+    Connect to a server as Bob and repair the local point set towards
+    the server's, over real TCP.
 
-All commands are deterministic given ``--seed``.
+All commands are deterministic given ``--seed`` (``serve``/``sync`` up to
+network scheduling; their wire bytes match the simulated channel's).
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 from pathlib import Path
@@ -38,6 +46,7 @@ from repro.iblt.backends import available_backends, backend_names
 from repro.iblt.decode import DECODE_STRATEGIES
 from repro.scale import reconcile_sharded
 from repro.scale.executors import executors_available
+from repro.serve import DEFAULT_TIMEOUT, ReconciliationServer, sync_blocking
 from repro.workloads.geo import geo_pair
 from repro.workloads.sensors import sensor_pair
 from repro.workloads.synthetic import clustered_pair, perturbed_pair
@@ -101,6 +110,53 @@ def _build_parser() -> argparse.ArgumentParser:
     info.add_argument("--delta", type=int, default=2**16)
     info.add_argument("--dimension", type=int, default=2)
     info.add_argument("--k", type=int, default=16)
+
+    serve = sub.add_parser(
+        "serve", help="serve reconciliation sessions (as Alice) over TCP"
+    )
+    serve.add_argument("workload", type=Path,
+                       help="JSON from 'generate'; the server holds its "
+                            "'alice' point set")
+    serve.add_argument("--k", type=int, default=16)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--backend", **backend_kwargs)
+    serve.add_argument("--shards", type=int, default=1,
+                       help="shard count clients of the sharded variant "
+                            "must match")
+    serve.add_argument("--workers", type=int, default=None)
+    serve.add_argument("--executor", choices=("auto",) + executors_available(),
+                       default="auto")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default: 0 = pick one and print it)")
+    serve.add_argument("--max-sessions", type=int, default=64,
+                       dest="max_sessions",
+                       help="bound on concurrently running sessions")
+    serve.add_argument("--max-syncs", type=int, default=None, dest="max_syncs",
+                       help="exit after this many sessions finish "
+                            "(default: serve forever)")
+    serve.add_argument("--timeout", type=float, default=DEFAULT_TIMEOUT,
+                       help="per-read timeout in seconds")
+
+    syn = sub.add_parser(
+        "sync", help="repair the local point set (as Bob) against a server"
+    )
+    syn.add_argument("workload", type=Path,
+                     help="JSON from 'generate'; this side holds its 'bob' "
+                          "point set")
+    syn.add_argument("--host", default="127.0.0.1")
+    syn.add_argument("--port", type=int, required=True)
+    syn.add_argument("--k", type=int, default=16)
+    syn.add_argument("--seed", type=int, default=0)
+    syn.add_argument("--adaptive", action="store_true",
+                     help="use the two-round adaptive variant")
+    syn.add_argument("--shards", type=int, default=1,
+                     help=">1 selects the sharded variant (must match the "
+                          "server's --shards)")
+    syn.add_argument("--backend", **backend_kwargs)
+    syn.add_argument("--timeout", type=float, default=DEFAULT_TIMEOUT)
+    syn.add_argument("--output", type=Path, default=None,
+                     help="write the repaired set to this JSON path")
     return parser
 
 
@@ -146,23 +202,41 @@ def cmd_generate(args) -> int:
     return 0
 
 
-def cmd_reconcile(args) -> int:
-    data = _load_workload(args.workload)
+def _select_variant(args) -> str:
+    """Shared ``--adaptive``/``--shards`` dispatch (reconcile and sync)."""
     if args.adaptive and args.shards > 1:
         raise ReproError(
             "--adaptive and --shards are mutually exclusive (the sharded "
             "engine runs the one-round protocol per shard)"
         )
+    if args.shards > 1:
+        return "sharded"
+    return "adaptive" if args.adaptive else "one-round"
+
+
+def _write_repaired(path: Path | None, result) -> None:
+    """Shared ``--output`` handling: persist the repaired multiset."""
+    if path is None:
+        return
+    path.write_text(
+        json.dumps({"repaired": [list(p) for p in result.repaired]})
+    )
+    print(f"repaired set written to {path}")
+
+
+def cmd_reconcile(args) -> int:
+    data = _load_workload(args.workload)
+    variant = _select_variant(args)
     config = ProtocolConfig(
         delta=data["delta"], dimension=data["dimension"], k=args.k,
         seed=args.seed, backend=args.backend, shards=args.shards,
         workers=args.workers, executor=args.executor,
         decode_strategy=args.decode_strategy,
     )
-    if args.shards > 1:
+    if variant == "sharded":
         runner = reconcile_sharded
         protocol = f"sharded one-round ({args.shards} shards, {config.executor} executor)"
-    elif args.adaptive:
+    elif variant == "adaptive":
         runner = reconcile_adaptive
         protocol = "adaptive 2-round"
     else:
@@ -180,11 +254,7 @@ def cmd_reconcile(args) -> int:
     print(f"repair   : +{result.alice_surplus} centres, "
           f"-{result.bob_surplus} points")
     print(f"|S'_B|   : {len(result.repaired)}")
-    if args.output is not None:
-        args.output.write_text(
-            json.dumps({"repaired": [list(p) for p in result.repaired]})
-        )
-        print(f"repaired set written to {args.output}")
+    _write_repaired(args.output, result)
     return 0
 
 
@@ -230,6 +300,62 @@ def cmd_info(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    data = _load_workload(args.workload)
+    config = ProtocolConfig(
+        delta=data["delta"], dimension=data["dimension"], k=args.k,
+        seed=args.seed, backend=args.backend, shards=args.shards,
+        workers=args.workers, executor=args.executor,
+    )
+    points = data["alice"]
+
+    async def run() -> None:
+        server = ReconciliationServer(
+            config, points, host=args.host, port=args.port,
+            max_sessions=args.max_sessions, timeout=args.timeout,
+        )
+        async with server:
+            host, port = server.address
+            print(f"serving {len(points)} points on {host}:{port} "
+                  f"(k={args.k}, seed={args.seed}, shards={args.shards}; "
+                  f"variants: one-round, adaptive, sharded)", flush=True)
+            if args.max_syncs is not None:
+                await server.wait_for_sessions(args.max_syncs)
+            else:
+                await server.serve_forever()
+        summary = server.summary()
+        print(f"served   : {summary['sessions']} session(s), "
+              f"{summary['ok']} ok, {summary['failed']} failed")
+        print(f"shipped  : {summary['bytes_out']} bytes out, "
+              f"{summary['bytes_in']} bytes in")
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+    return 0
+
+
+def cmd_sync(args) -> int:
+    data = _load_workload(args.workload)
+    variant = _select_variant(args)
+    config = ProtocolConfig(
+        delta=data["delta"], dimension=data["dimension"], k=args.k,
+        seed=args.seed, backend=args.backend, shards=args.shards,
+    )
+    result = sync_blocking(
+        args.host, args.port, config, data["bob"],
+        variant=variant, timeout=args.timeout,
+    )
+    print(f"synced against {args.host}:{args.port} ({variant})")
+    print(f"message  : {result.transcript.describe()}")
+    print(f"repair   : +{result.alice_surplus} centres, "
+          f"-{result.bob_surplus} points")
+    print(f"|S'_B|   : {len(result.repaired)}")
+    _write_repaired(args.output, result)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -239,6 +365,8 @@ def main(argv: list[str] | None = None) -> int:
         "reconcile": cmd_reconcile,
         "estimate": cmd_estimate,
         "info": cmd_info,
+        "serve": cmd_serve,
+        "sync": cmd_sync,
     }
     try:
         return handlers[args.command](args)

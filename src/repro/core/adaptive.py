@@ -31,7 +31,7 @@ from repro.iblt.hashing import hash_with_salt
 from repro.iblt.strata import StrataConfig, StrataEstimator
 from repro.iblt.table import IBLT, recommended_cells
 from repro.net.bits import BitReader, BitWriter
-from repro.net.channel import Direction, SimulatedChannel
+from repro.net.channel import SimulatedChannel
 from repro.net.transcript import Transcript
 
 REQUEST_MAGIC = 0xAD
@@ -256,18 +256,28 @@ def reconcile_adaptive(
     channel: SimulatedChannel | None = None,
     strategy: str = "occurrence",
 ) -> ReconcileResult:
-    """Run the full two-round exchange over a (simulated) channel."""
+    """Run the full two-round exchange over a (simulated) channel.
+
+    A thin driver pumping :class:`AdaptiveAliceSession` /
+    :class:`AdaptiveBobSession` (:mod:`repro.session`) over the channel.
+    A caller-supplied channel is left open for reuse; the transcript
+    covers this run's messages only.
+    """
+    # Lazy import: repro.session layers above this module (see reconcile()).
+    from repro.session import AdaptiveAliceSession, AdaptiveBobSession, pump
+
+    owns_channel = channel is None
     channel = channel if channel is not None else SimulatedChannel()
-    reconciler = AdaptiveReconciler(config, adaptive)
-    request = channel.send(
-        Direction.BOB_TO_ALICE, reconciler.bob_request(bob_points), "adaptive-request"
+    first_message = len(channel.messages)
+    reconciler = AdaptiveReconciler(config, adaptive)  # shared: one grid build
+    alice = AdaptiveAliceSession(
+        config, alice_points, adaptive, reconciler=reconciler
     )
-    response = channel.send(
-        Direction.ALICE_TO_BOB,
-        reconciler.alice_respond(request, alice_points),
-        "adaptive-window",
+    bob = AdaptiveBobSession(
+        config, bob_points, adaptive, strategy=strategy, reconciler=reconciler
     )
-    result = reconciler.bob_finish(response, bob_points, strategy)
-    channel.close()
-    result.transcript = Transcript.from_channel(channel)
+    _, result = pump(alice, bob, channel)
+    if owns_channel:
+        channel.close()
+    result.transcript = Transcript.from_messages(channel.messages[first_message:])
     return result

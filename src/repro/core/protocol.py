@@ -35,7 +35,7 @@ from repro.emd.metrics import Point
 from repro.errors import ReconciliationFailure
 from repro.iblt.decode import DecodeResult, decode
 from repro.iblt.table import IBLT
-from repro.net.channel import Direction, SimulatedChannel
+from repro.net.channel import SimulatedChannel
 from repro.net.transcript import Transcript
 
 
@@ -215,6 +215,13 @@ def reconcile(
 ) -> ReconcileResult:
     """Run a complete one-round exchange over a (simulated) channel.
 
+    A thin driver over the sans-I/O sessions (:mod:`repro.session`): it
+    pumps :class:`OneRoundAliceSession`/:class:`OneRoundBobSession` over
+    the channel, so the wire bytes equal a networked run's.  A channel the
+    caller supplies is left open (and may be reused across runs); only a
+    channel this function creates is closed.  The attached transcript
+    covers this run's messages only.
+
     Returns Bob's :class:`ReconcileResult` with the measured transcript
     attached.
 
@@ -223,12 +230,20 @@ def reconcile(
     >>> len(result.repaired)
     2
     """
+    # Imported lazily: repro.session sits above this module in the layering
+    # (sessions wrap reconcilers; this driver wraps sessions).
+    from repro.session import OneRoundAliceSession, OneRoundBobSession, pump
+
+    owns_channel = channel is None
     channel = channel if channel is not None else SimulatedChannel()
-    reconciler = HierarchicalReconciler(config)
-    payload = channel.send(
-        Direction.ALICE_TO_BOB, reconciler.encode(alice_points), "hierarchy-sketch"
+    first_message = len(channel.messages)
+    reconciler = HierarchicalReconciler(config)  # shared: one grid build
+    alice = OneRoundAliceSession(config, alice_points, reconciler=reconciler)
+    bob = OneRoundBobSession(
+        config, bob_points, strategy=strategy, reconciler=reconciler
     )
-    result = reconciler.decode_and_repair(payload, bob_points, strategy)
-    channel.close()
-    result.transcript = Transcript.from_channel(channel)
+    _, result = pump(alice, bob, channel)
+    if owns_channel:
+        channel.close()
+    result.transcript = Transcript.from_messages(channel.messages[first_message:])
     return result

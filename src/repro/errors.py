@@ -49,6 +49,16 @@ class ChannelError(ReproError):
     """Misuse of the simulated channel (e.g. a reply on a closed channel)."""
 
 
+class SessionError(ReproError):
+    """A protocol session was driven outside its state machine's contract.
+
+    Raised by the sans-I/O sessions (:mod:`repro.session`) on out-of-order
+    input — feeding before start, feeding a completed session, reading a
+    result too early — and by the transports (:mod:`repro.serve`) on
+    handshake mismatches, mid-session disconnects, and I/O timeouts.
+    """
+
+
 class CapacityExceeded(ReproError):
     """More items were inserted into a sketch than its sizing supports.
 

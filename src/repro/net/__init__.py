@@ -7,13 +7,14 @@ the benchmarks are measured, not estimated.
 """
 
 from repro.net.bits import BitReader, BitWriter
-from repro.net.channel import Direction, Message, SimulatedChannel
+from repro.net.channel import Direction, LoopbackChannel, Message, SimulatedChannel
 from repro.net.transcript import Transcript
 
 __all__ = [
     "BitReader",
     "BitWriter",
     "Direction",
+    "LoopbackChannel",
     "Message",
     "SimulatedChannel",
     "Transcript",

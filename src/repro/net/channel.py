@@ -1,13 +1,24 @@
-"""A simulated two-party channel with exact bit accounting.
+"""Two-party channels with exact bit accounting.
 
-Reconciliation protocols run between *Alice* and *Bob*.  The channel records
-every message (direction, payload, label) so that benchmarks report measured
-communication rather than analytic estimates, and tests can assert on round
-counts.
+Reconciliation protocols run between *Alice* and *Bob*.  Every channel here
+records each message (direction, payload, label) so that benchmarks report
+measured communication rather than analytic estimates, and tests can assert
+on round counts.  Two delivery disciplines share that recording core:
+
+* :class:`SimulatedChannel` — synchronous; ``send`` returns the payload as
+  the receiver sees it.  The classic in-process simulation.
+* :class:`LoopbackChannel` — asynchronous; ``send`` additionally enqueues
+  the payload per direction and ``receive`` awaits it, so the two endpoints
+  can run as independent asyncio tasks (the stepping stone between the
+  simulation and real TCP in :mod:`repro.serve`).
+
+Both carry the *same* sans-I/O session objects (:mod:`repro.session`), so
+simulation, loopback asyncio, and TCP runs are byte-comparable.
 """
 
 from __future__ import annotations
 
+import asyncio
 import enum
 from dataclasses import dataclass, field
 
@@ -43,6 +54,23 @@ class Message:
     def bits(self) -> int:
         """Size of the payload in bits."""
         return 8 * len(self.payload)
+
+
+def count_rounds(messages) -> int:
+    """Rounds in a message sequence: direction changes plus one.
+
+    The single definition of the paper's round-counting convention —
+    consecutive same-direction messages share a round.  Used by both
+    :attr:`SimulatedChannel.rounds` and
+    :meth:`~repro.net.transcript.Transcript.from_messages`.
+    """
+    rounds = 0
+    previous = None
+    for message in messages:
+        if message.direction is not previous:
+            rounds += 1
+            previous = message.direction
+    return rounds
 
 
 @dataclass
@@ -88,14 +116,53 @@ class SimulatedChannel:
         parties strictly alternate; consecutive same-direction messages are
         counted as a single round, matching the communication-complexity
         convention used by the paper)."""
-        rounds = 0
-        previous = None
-        for message in self.messages:
-            if message.direction is not previous:
-                rounds += 1
-                previous = message.direction
-        return rounds
+        return count_rounds(self.messages)
 
     def bits_from(self, direction: Direction) -> int:
         """Total bits sent in one direction."""
         return sum(m.bits for m in self.messages if m.direction is direction)
+
+
+_CLOSED = object()  # sentinel waking every pending LoopbackChannel.receive
+
+
+@dataclass
+class LoopbackChannel(SimulatedChannel):
+    """An asyncio in-process channel: recorded *and* actually delivered.
+
+    ``send`` keeps the :class:`SimulatedChannel` recording contract (and
+    return value) but also enqueues the payload on the direction's queue;
+    the peer's task awaits it with :meth:`receive`.  ``close`` wakes every
+    pending receiver with :class:`~repro.errors.ChannelError`, so a dead
+    peer can never leave the other side hanging.
+
+    Must be constructed (and used) inside a running event loop's thread;
+    the queues are plain :class:`asyncio.Queue` instances.
+    """
+
+    def __post_init__(self) -> None:
+        self._queues: dict[Direction, asyncio.Queue] = {
+            direction: asyncio.Queue() for direction in Direction
+        }
+
+    def send(self, direction: Direction, payload: bytes, label: str = "") -> bytes:
+        """Record the message and enqueue it for the receiving task."""
+        delivered = super().send(direction, payload, label)
+        self._queues[direction].put_nowait(delivered)
+        return delivered
+
+    async def receive(self, direction: Direction) -> bytes:
+        """Await the next payload travelling in ``direction``."""
+        if self.closed and self._queues[direction].empty():
+            raise ChannelError("cannot receive on a closed channel")
+        payload = await self._queues[direction].get()
+        if payload is _CLOSED:
+            self._queues[direction].put_nowait(_CLOSED)  # wake later waiters
+            raise ChannelError("channel closed while awaiting a message")
+        return payload
+
+    def close(self) -> None:
+        """Close the channel and wake every pending receiver."""
+        super().close()
+        for queue in self._queues.values():
+            queue.put_nowait(_CLOSED)

@@ -3,16 +3,18 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
-from repro.net.channel import Direction, SimulatedChannel
+from repro.net.channel import Direction, Message, SimulatedChannel, count_rounds
 
 
 @dataclass(frozen=True)
 class Transcript:
     """Immutable summary of one reconciliation run.
 
-    Built from a :class:`~repro.net.channel.SimulatedChannel` after the
-    protocol finishes; this is what benchmark harnesses aggregate.
+    Built from a :class:`~repro.net.channel.SimulatedChannel` (or any
+    recorded message sequence) after the protocol finishes; this is what
+    benchmark harnesses aggregate.
     """
 
     total_bits: int
@@ -24,18 +26,52 @@ class Transcript:
     @classmethod
     def from_channel(cls, channel: SimulatedChannel) -> "Transcript":
         """Summarise a finished channel."""
+        return cls.from_messages(channel.messages)
+
+    @classmethod
+    def from_messages(cls, messages: Iterable[Message]) -> "Transcript":
+        """Summarise one run's messages (e.g. a slice of a reused channel)."""
+        messages = list(messages)
+        rounds = count_rounds(messages)
         return cls(
-            total_bits=channel.total_bits,
-            alice_to_bob_bits=channel.bits_from(Direction.ALICE_TO_BOB),
-            bob_to_alice_bits=channel.bits_from(Direction.BOB_TO_ALICE),
-            rounds=channel.rounds,
-            message_labels=tuple(m.label for m in channel.messages),
+            total_bits=sum(m.bits for m in messages),
+            alice_to_bob_bits=sum(
+                m.bits for m in messages if m.direction is Direction.ALICE_TO_BOB
+            ),
+            bob_to_alice_bits=sum(
+                m.bits for m in messages if m.direction is Direction.BOB_TO_ALICE
+            ),
+            rounds=rounds,
+            message_labels=tuple(m.label for m in messages),
         )
 
     @property
     def total_bytes(self) -> int:
         """Total communication in bytes (rounded up per message already)."""
         return self.total_bits // 8
+
+    @property
+    def alice_to_bob_bytes(self) -> int:
+        """Bytes shipped Alice -> Bob."""
+        return self.alice_to_bob_bits // 8
+
+    @property
+    def bob_to_alice_bytes(self) -> int:
+        """Bytes shipped Bob -> Alice."""
+        return self.bob_to_alice_bits // 8
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (what benchmark emitters serialise)."""
+        return {
+            "total_bits": self.total_bits,
+            "total_bytes": self.total_bytes,
+            "alice_to_bob_bits": self.alice_to_bob_bits,
+            "alice_to_bob_bytes": self.alice_to_bob_bytes,
+            "bob_to_alice_bits": self.bob_to_alice_bits,
+            "bob_to_alice_bytes": self.bob_to_alice_bytes,
+            "rounds": self.rounds,
+            "message_labels": list(self.message_labels),
+        }
 
     def describe(self) -> str:
         """One-line human-readable summary."""

@@ -60,7 +60,7 @@ from repro.iblt.backends import available_backends
 from repro.iblt.decode import decode
 from repro.iblt.table import IBLT
 from repro.net.bits import BitReader, BitWriter
-from repro.net.channel import Direction, SimulatedChannel
+from repro.net.channel import SimulatedChannel
 from repro.net.transcript import Transcript
 from repro.scale.executors import ShardExecutor, make_executor
 from repro.scale.partition import SpacePartitioner
@@ -512,19 +512,34 @@ def reconcile_sharded(
 ) -> ShardedResult:
     """Run a complete sharded one-round exchange over a (simulated) channel.
 
+    A thin driver pumping a pair of :class:`~repro.session.ShardedSession`
+    machines (:mod:`repro.session`) over the channel.  A caller-supplied
+    channel is left open for reuse; the transcript covers this run's
+    messages only.
+
     >>> config = ProtocolConfig(delta=256, dimension=1, k=2, seed=7, shards=2)
     >>> result = reconcile_sharded([(10,), (200,)], [(11,), (200,)], config)
     >>> len(result.repaired)
     2
     """
+    # Lazy import: repro.session layers above this module.
+    from repro.session import ShardedSession, pump
+
+    owns_channel = channel is None
     channel = channel if channel is not None else SimulatedChannel()
+    first_message = len(channel.messages)
+    # One shared engine (grid + executor pool) for both endpoints, as the
+    # pre-session code had; injected reconcilers are not closed by sessions.
     with ShardedReconciler(config) as reconciler:
-        payload = channel.send(
-            Direction.ALICE_TO_BOB,
-            reconciler.encode(alice_points),
-            "sharded-sketch",
+        alice = ShardedSession(
+            config, alice_points, role="alice", reconciler=reconciler
         )
-        result = reconciler.decode_and_repair(payload, bob_points, strategy)
-    channel.close()
-    result.transcript = Transcript.from_channel(channel)
+        bob = ShardedSession(
+            config, bob_points, role="bob", strategy=strategy,
+            reconciler=reconciler,
+        )
+        _, result = pump(alice, bob, channel)
+    if owns_channel:
+        channel.close()
+    result.transcript = Transcript.from_messages(channel.messages[first_message:])
     return result

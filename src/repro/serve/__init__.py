@@ -1,0 +1,43 @@
+"""Networked reconciliation: frames, handshake, asyncio server + client.
+
+This package is the transport side of the sans-I/O split: the session
+machines in :mod:`repro.session` own all protocol logic, while everything
+here only moves their payload bytes — length-prefixed frames over TCP,
+a handshake agreeing on variant + public-coin config digest + version,
+a bounded-concurrency server that is Alice for every connection, and an
+async client that is Bob.  Simulated, loopback-asyncio, and TCP runs all
+ship byte-identical payloads.
+"""
+
+from repro.serve.frames import (
+    FrameDecoder,
+    MAX_FRAME_BYTES,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.serve.handshake import WIRE_VERSION, config_digest
+from repro.serve.service import (
+    DEFAULT_TIMEOUT,
+    ReconciliationServer,
+    SessionStats,
+    pump_stream,
+    sync,
+    sync_blocking,
+)
+
+__all__ = [
+    "DEFAULT_TIMEOUT",
+    "FrameDecoder",
+    "MAX_FRAME_BYTES",
+    "ReconciliationServer",
+    "SessionStats",
+    "WIRE_VERSION",
+    "config_digest",
+    "encode_frame",
+    "pump_stream",
+    "read_frame",
+    "sync",
+    "sync_blocking",
+    "write_frame",
+]

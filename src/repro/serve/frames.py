@@ -1,0 +1,155 @@
+"""Length-prefixed framing for session payloads over a byte stream.
+
+Session messages are opaque byte strings; TCP is a byte stream.  The codec
+between them is deliberately minimal: each frame is a 4-byte big-endian
+payload length followed by the payload.  Two parse paths share the header
+struct and the size check (:func:`_validate_length`): the sans-I/O
+:class:`FrameDecoder` for chunk-at-a-time feeding (what the
+failure-injection tests drive directly), and :func:`read_frame`, which
+rides :meth:`asyncio.StreamReader.readexactly` so the event loop does the
+buffering.
+
+Malformed input is always a typed error: oversized lengths raise
+:class:`~repro.errors.SerializationError`, connections that die mid-frame
+raise :class:`~repro.errors.SessionError`.  Nothing here can hang on bad
+bytes — a short read is either a clean end-of-stream or an error.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+from repro.errors import SerializationError, SessionError
+
+HEADER = struct.Struct(">I")
+
+#: Refuse frames above this size (a corrupt header would otherwise make a
+#: reader wait for gigabytes that never arrive).
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+def _validate_length(length: int, context: str) -> int:
+    """The one size check both parse paths (decoder and asyncio) share."""
+    if length > MAX_FRAME_BYTES:
+        raise SerializationError(
+            f"{context} announces {length} bytes, above the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return length
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Frame one payload: 4-byte big-endian length + bytes."""
+    if not isinstance(payload, (bytes, bytearray)):
+        raise SerializationError(
+            f"frame payload must be bytes, got {type(payload).__name__}"
+        )
+    _validate_length(len(payload), "outbound frame")
+    return HEADER.pack(len(payload)) + bytes(payload)
+
+
+class FrameDecoder:
+    """Incremental frame parser: feed stream chunks, pop whole payloads."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        """Append one chunk of stream bytes."""
+        self._buffer.extend(data)
+
+    def next_frame(self) -> bytes | None:
+        """Pop the next complete payload, or ``None`` if more bytes needed."""
+        if len(self._buffer) < HEADER.size:
+            return None
+        (length,) = HEADER.unpack_from(self._buffer)
+        _validate_length(length, "frame header")
+        if len(self._buffer) < HEADER.size + length:
+            return None
+        payload = bytes(self._buffer[HEADER.size:HEADER.size + length])
+        del self._buffer[:HEADER.size + length]
+        return payload
+
+    @property
+    def at_boundary(self) -> bool:
+        """True when no partial frame is buffered (a clean place to EOF)."""
+        return not self._buffer
+
+    def finish(self) -> None:
+        """Declare end-of-stream; a buffered partial frame is an error."""
+        if not self.at_boundary:
+            raise SessionError(
+                f"stream ended mid-frame with {len(self._buffer)} stray bytes"
+            )
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    *,
+    timeout: float | None = None,
+    allow_eof: bool = False,
+) -> bytes | None:
+    """Read one framed payload from an asyncio stream.
+
+    Returns the payload, or ``None`` on a clean end-of-stream when
+    ``allow_eof`` is set.  An end-of-stream anywhere else — before a frame
+    when ``allow_eof`` is unset, or worse, mid-frame — raises
+    :class:`~repro.errors.SessionError` (the peer disconnected
+    mid-session), as does exceeding ``timeout`` seconds.
+    """
+
+    async def _read() -> bytes | None:
+        try:
+            header = await reader.readexactly(HEADER.size)
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial and allow_eof:
+                return None
+            raise SessionError(
+                "peer disconnected mid-session "
+                f"({len(exc.partial)}/{HEADER.size} header bytes)"
+            ) from exc
+        (length,) = HEADER.unpack(header)
+        _validate_length(length, "frame header")
+        try:
+            return await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise SessionError(
+                "peer disconnected mid-frame "
+                f"({len(exc.partial)}/{length} payload bytes)"
+            ) from exc
+
+    if timeout is None:
+        return await _read()
+    try:
+        return await asyncio.wait_for(_read(), timeout)
+    except asyncio.TimeoutError as exc:
+        raise SessionError(
+            f"timed out after {timeout:g}s waiting for a frame"
+        ) from exc
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter,
+    payload: bytes,
+    *,
+    timeout: float | None = None,
+) -> None:
+    """Frame and flush one payload onto an asyncio stream.
+
+    ``drain()`` is bounded by ``timeout`` like every read: a peer that
+    stops reading (full socket buffers, multi-MB sketch in flight) must
+    surface as a typed :class:`~repro.errors.SessionError`, not occupy a
+    handler forever.
+    """
+    writer.write(encode_frame(payload))
+    if timeout is None:
+        await writer.drain()
+        return
+    try:
+        await asyncio.wait_for(writer.drain(), timeout)
+    except asyncio.TimeoutError as exc:
+        raise SessionError(
+            f"timed out after {timeout:g}s flushing a "
+            f"{len(payload)}-byte frame (peer not reading?)"
+        ) from exc

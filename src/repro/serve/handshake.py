@@ -1,0 +1,146 @@
+"""Connection handshake: agree on variant, config digest, and version.
+
+Protocol parameters are public coins — both parties must construct the
+*same* :class:`~repro.core.config.ProtocolConfig` (and, for the adaptive
+variant, :class:`~repro.core.adaptive.AdaptiveConfig`) out of band.  The
+handshake does not transmit the config; it transmits a **digest** of the
+wire-relevant fields so a drifted peer is rejected before any sketch
+bytes flow, with an error message naming the mismatch.
+
+Exchange: the client opens with a ``hello`` frame (magic, version,
+variant, digest); the server answers ``welcome`` on agreement or
+``error`` (a human-readable reason) before closing.  Frames carry JSON —
+a few dozen bytes once per connection, in exchange for painless
+extensibility.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.core.adaptive import AdaptiveConfig
+from repro.core.config import ProtocolConfig
+from repro.errors import SerializationError, SessionError
+
+MAGIC = "repro-serve"
+WIRE_VERSION = 1
+
+#: ProtocolConfig fields that shape wire bytes (the public-coin contract).
+#: Private knobs — backend, workers, executor, decode_strategy — are
+#: deliberately absent: peers may differ on those.  ``shards`` is added
+#: only for the sharded variant (it frames the wire there and is ignored
+#: everywhere else, so a sharded server can still serve one-round peers).
+_WIRE_FIELDS = (
+    "delta", "dimension", "k", "q", "occupancy_bits", "checksum_bits",
+    "seed", "diff_margin", "metric", "levels", "random_shift",
+)
+
+#: AdaptiveConfig fields that shape wire bytes (all of them).
+_ADAPTIVE_FIELDS = (
+    "level_stride", "estimator_strata", "estimator_cells",
+    "estimator_key_bits", "estimator_checksum_bits", "headroom",
+    "include_fallback",
+)
+
+
+def config_digest(
+    config: ProtocolConfig,
+    variant: str = "one-round",
+    adaptive: AdaptiveConfig | None = None,
+) -> str:
+    """Stable 16-hex digest of every parameter that shapes this variant's
+    wire bytes."""
+    record = {name: getattr(config, name) for name in _WIRE_FIELDS}
+    if record["levels"] is not None:
+        record["levels"] = list(record["levels"])
+    if variant == "sharded":
+        record["shards"] = config.shards
+    if variant == "adaptive":
+        adaptive = adaptive or AdaptiveConfig()
+        record["adaptive"] = {
+            name: getattr(adaptive, name) for name in _ADAPTIVE_FIELDS
+        }
+    canonical = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def _dump(record: dict) -> bytes:
+    return json.dumps(record, sort_keys=True, separators=(",", ":")).encode()
+
+
+def _load(payload: bytes, kind: str) -> dict:
+    try:
+        record = json.loads(payload.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"unparseable {kind} frame: {exc}") from exc
+    if not isinstance(record, dict):
+        raise SerializationError(f"{kind} frame is not a JSON object")
+    return record
+
+
+def hello_bytes(variant: str, digest: str) -> bytes:
+    """The client's opening frame."""
+    return _dump({
+        "magic": MAGIC,
+        "version": WIRE_VERSION,
+        "variant": variant,
+        "digest": digest,
+    })
+
+
+def parse_hello(payload: bytes) -> tuple[str, str, int]:
+    """Parse a hello frame into ``(variant, digest, version)``.
+
+    Bad JSON or a wrong magic raises
+    :class:`~repro.errors.SerializationError` (not our protocol at all);
+    a *version* we don't speak raises
+    :class:`~repro.errors.SessionError` (our protocol, incompatible
+    peer), so the server can answer with a typed refusal.
+    """
+    record = _load(payload, "hello")
+    if record.get("magic") != MAGIC:
+        raise SerializationError(
+            f"hello magic {record.get('magic')!r} is not {MAGIC!r}"
+        )
+    version = record.get("version")
+    if version != WIRE_VERSION:
+        raise SessionError(
+            f"peer speaks serve-protocol version {version!r}, "
+            f"this build speaks {WIRE_VERSION}"
+        )
+    variant = record.get("variant")
+    digest = record.get("digest")
+    if not isinstance(variant, str) or not isinstance(digest, str):
+        raise SerializationError("hello frame missing variant/digest strings")
+    return variant, digest, version
+
+
+def welcome_bytes(variant: str, digest: str) -> bytes:
+    """The server's acceptance frame."""
+    return _dump({
+        "magic": MAGIC,
+        "version": WIRE_VERSION,
+        "ok": True,
+        "variant": variant,
+        "digest": digest,
+    })
+
+
+def error_bytes(reason: str) -> bytes:
+    """The server's refusal frame (sent just before closing)."""
+    return _dump({"magic": MAGIC, "version": WIRE_VERSION, "error": reason})
+
+
+def parse_welcome(payload: bytes) -> dict:
+    """Parse the server's reply; a refusal raises ``SessionError``."""
+    record = _load(payload, "welcome")
+    if record.get("magic") != MAGIC:
+        raise SerializationError(
+            f"welcome magic {record.get('magic')!r} is not {MAGIC!r}"
+        )
+    if "error" in record:
+        raise SessionError(f"server refused the session: {record['error']}")
+    if record.get("ok") is not True:
+        raise SerializationError("welcome frame is neither ok nor an error")
+    return record

@@ -1,0 +1,416 @@
+"""The asyncio reconciliation service: TCP server, client, stream pump.
+
+The server is Alice for every connection: it holds the reference point
+multiset and serves any protocol variant a client asks for (the client is
+Bob, repairing towards the server).  One sans-I/O session per connection,
+a semaphore bounding how many run concurrently, per-session stats, and a
+handshake that rejects peers whose public-coin config drifted.
+
+Concurrency model: frames move through the event loop; the session's own
+compute (sketch encode, peel, repair) runs inline on the loop.  Sessions
+therefore overlap on I/O and handshake latency, while CPU work serialises
+— the standard single-process asyncio trade; scale-out across cores is
+the sharded engine's and a process-per-port deployment's job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.adaptive import AdaptiveConfig, AdaptiveReconciler
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import HierarchicalReconciler
+from repro.errors import ReproError, SessionError
+from repro.net.channel import SimulatedChannel
+from repro.net.transcript import Transcript
+from repro.scale.engine import ShardedReconciler
+from repro.serve import handshake
+from repro.serve.frames import read_frame, write_frame
+from repro.session import VARIANTS, make_session
+from repro.session.base import Session
+from repro.session.driver import (
+    INBOUND_DIRECTION,
+    OUTBOUND_DIRECTION,
+    outbound_messages,
+)
+
+#: Default per-read timeout; generous for a LAN, finite so nothing hangs.
+DEFAULT_TIMEOUT = 30.0
+
+
+async def pump_stream(
+    session: Session,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    *,
+    channel: SimulatedChannel | None = None,
+    timeout: float | None = DEFAULT_TIMEOUT,
+) -> object:
+    """Drive one session endpoint over framed asyncio streams to completion.
+
+    Optionally records every payload (both directions, with the same
+    labels a simulated run uses) onto ``channel``, which makes TCP runs
+    transcript-comparable with :class:`~repro.net.channel.SimulatedChannel`
+    runs.  Returns the session's result.
+    """
+    out_direction = OUTBOUND_DIRECTION[session.role]
+    in_direction = INBOUND_DIRECTION[session.role]
+
+    async def ship(output) -> None:
+        for message in outbound_messages(output):
+            if channel is not None:
+                channel.send(out_direction, message.payload, message.label)
+            await write_frame(writer, message.payload, timeout=timeout)
+
+    await ship(session.start())
+    while not session.done:
+        payload = await read_frame(reader, timeout=timeout)
+        if channel is not None:
+            channel.send(in_direction, payload, session.inbound_label())
+        await ship(session.feed(payload))
+    return session.result
+
+
+@dataclass
+class SessionStats:
+    """What the server remembers about one connection."""
+
+    peer: str
+    variant: str = ""
+    ok: bool = False
+    error: str = ""
+    duration_s: float = 0.0
+    transcript: Transcript | None = None
+
+    def to_dict(self) -> dict:
+        record = {
+            "peer": self.peer,
+            "variant": self.variant,
+            "ok": self.ok,
+            "error": self.error,
+            "duration_s": self.duration_s,
+        }
+        if self.transcript is not None:
+            record["transcript"] = self.transcript.to_dict()
+        return record
+
+
+class ReconciliationServer:
+    """Serve reconciliation sessions (as Alice) over TCP.
+
+    Usable as an async context manager::
+
+        async with ReconciliationServer(config, points) as server:
+            host, port = server.address
+            ...
+
+    ``port=0`` (the default) binds an ephemeral port, published via
+    :attr:`address` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        config: ProtocolConfig,
+        points,
+        *,
+        adaptive: AdaptiveConfig | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_sessions: int = 64,
+        timeout: float | None = DEFAULT_TIMEOUT,
+        stats_history: int = 1024,
+    ):
+        self.config = config
+        self.adaptive = adaptive or AdaptiveConfig()
+        self.points = points
+        self.host = host
+        self.port = port
+        self.max_sessions = max_sessions
+        self.timeout = timeout
+        #: The most recent ``stats_history`` sessions; a long-running
+        #: daemon must not grow per-connection state without bound, so
+        #: aggregate counters (see :meth:`summary`) are kept separately.
+        self.stats: deque[SessionStats] = deque(maxlen=stats_history)
+        self._totals = {
+            "sessions": 0, "ok": 0, "failed": 0, "bytes_out": 0, "bytes_in": 0,
+        }
+        self._semaphore = asyncio.Semaphore(max_sessions)
+        self._server: asyncio.base_events.Server | None = None
+        self._finished = asyncio.Condition()
+        self._reconcilers: dict[str, object] = {}
+        self._encoded: dict[str, bytes] = {}
+        self._handlers: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns ``(host, port)``."""
+        if self._server is not None:
+            raise SessionError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Where the server listens (valid after :meth:`start`)."""
+        return self.host, self.port
+
+    async def close(self) -> None:
+        """Stop accepting, drain in-flight sessions, release engines.
+
+        Handler tasks are awaited explicitly: ``Server.wait_closed()``
+        does not cover per-connection handlers before Python 3.12.1, and
+        the shared sharded executor must not be torn down under one.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        pending = [task for task in self._handlers if not task.done()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        sharded = self._reconcilers.pop("sharded", None)
+        if sharded is not None:
+            sharded.close()
+
+    async def __aenter__(self) -> "ReconciliationServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def serve_forever(self) -> None:
+        """Block serving until cancelled."""
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def wait_for_sessions(self, count: int) -> None:
+        """Block until ``count`` sessions (ok or failed) have finished."""
+        async with self._finished:
+            await self._finished.wait_for(
+                lambda: self._totals["sessions"] >= count
+            )
+
+    def summary(self) -> dict:
+        """Aggregate stats over the server's whole lifetime: sessions
+        served, failures, bytes shipped (running totals — unaffected by
+        the bounded :attr:`stats` history)."""
+        return dict(self._totals)
+
+    # ------------------------------------------------------------- serving
+
+    def digest(self, variant: str) -> str:
+        """The config digest this server expects for ``variant``."""
+        return handshake.config_digest(self.config, variant, self.adaptive)
+
+    def _session_for(self, variant: str) -> Session:
+        """Build this connection's Alice session.
+
+        Heavy per-variant state is computed once and shared across
+        connections: the reconciler (grids, executor pools) and — for the
+        one-way variants, whose opening message is a deterministic
+        function of (config, points) — the encoded payload itself, so a
+        session costs near-O(1) server CPU instead of re-encoding the
+        whole point set per connection.
+        """
+        factories = {
+            "one-round": lambda: HierarchicalReconciler(self.config),
+            "adaptive": lambda: AdaptiveReconciler(self.config, self.adaptive),
+            "sharded": lambda: ShardedReconciler(self.config),
+        }
+        if variant not in self._reconcilers:
+            self._reconcilers[variant] = factories[variant]()
+        reconciler = self._reconcilers[variant]
+        kwargs = {"reconciler": reconciler}
+        if variant in ("one-round", "sharded"):
+            if variant not in self._encoded:
+                self._encoded[variant] = reconciler.encode(self.points)
+            kwargs["encoded"] = self._encoded[variant]
+        return make_session(variant, "alice", self.config, self.points, **kwargs)
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        peername = writer.get_extra_info("peername")
+        stats = SessionStats(peer=str(peername))
+        started = time.perf_counter()
+        record = True
+        try:
+            record = await self._run_session(reader, writer, stats)
+        except ReproError as exc:
+            stats.error = f"{type(exc).__name__}: {exc}"
+        except (ConnectionError, asyncio.IncompleteReadError) as exc:
+            stats.error = f"connection lost: {exc}"
+        except Exception as exc:  # noqa: BLE001 — attribute every failure
+            stats.error = f"unexpected {type(exc).__name__}: {exc}"
+        finally:
+            stats.duration_s = time.perf_counter() - started
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            if record:
+                async with self._finished:
+                    self.stats.append(stats)
+                    self._totals["sessions"] += 1
+                    if stats.ok:
+                        self._totals["ok"] += 1
+                        if stats.transcript is not None:
+                            self._totals["bytes_out"] += (
+                                stats.transcript.alice_to_bob_bytes
+                            )
+                            self._totals["bytes_in"] += (
+                                stats.transcript.bob_to_alice_bytes
+                            )
+                    else:
+                        self._totals["failed"] += 1
+                    self._finished.notify_all()
+
+    async def _run_session(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        stats: SessionStats,
+    ) -> bool:
+        """Serve one connection; returns False for silent health probes.
+
+        A connection that closes cleanly before sending any handshake
+        byte (a port scan, a load-balancer health check, a readiness
+        probe) is not a session: it is ignored and not recorded.
+
+        The concurrency semaphore is acquired only *after* a valid
+        handshake, so idle or malformed connections cannot occupy
+        session slots; the welcome frame doubles as the "slot granted"
+        signal to the client.
+        """
+        hello = await read_frame(reader, timeout=self.timeout, allow_eof=True)
+        if hello is None:
+            return False
+        try:
+            variant, digest, _ = handshake.parse_hello(hello)
+            stats.variant = variant
+            if variant not in VARIANTS:
+                raise SessionError(
+                    f"unknown protocol variant {variant!r}; "
+                    f"this server speaks {', '.join(VARIANTS)}"
+                )
+            expected = self.digest(variant)
+            if digest != expected:
+                raise SessionError(
+                    f"config digest mismatch for variant {variant!r}: "
+                    f"peer has {digest}, server has {expected} — the "
+                    "public-coin ProtocolConfig must be identical"
+                )
+        except ReproError as exc:
+            # Refuse loudly (typed error on the client) before closing.
+            await write_frame(
+                writer, handshake.error_bytes(str(exc)), timeout=self.timeout
+            )
+            raise
+        async with self._semaphore:
+            await write_frame(
+                writer, handshake.welcome_bytes(variant, expected),
+                timeout=self.timeout,
+            )
+            recorder = SimulatedChannel()
+            session = self._session_for(variant)
+            with session:
+                await pump_stream(
+                    session, reader, writer,
+                    channel=recorder, timeout=self.timeout,
+                )
+        stats.ok = True
+        stats.transcript = Transcript.from_channel(recorder)
+        return True
+
+
+# --------------------------------------------------------------------- client
+
+
+async def sync(
+    host: str,
+    port: int,
+    config: ProtocolConfig,
+    points,
+    *,
+    variant: str = "one-round",
+    adaptive: AdaptiveConfig | None = None,
+    strategy: str = "occurrence",
+    channel: SimulatedChannel | None = None,
+    timeout: float | None = DEFAULT_TIMEOUT,
+):
+    """Sync this process's points (as Bob) against a server (Alice).
+
+    Returns the variant's result object
+    (:class:`~repro.core.protocol.ReconcileResult` or
+    :class:`~repro.scale.engine.ShardedResult`) with a measured transcript
+    attached.  Handshake refusals, disconnects, and timeouts raise
+    :class:`~repro.errors.SessionError`.
+    """
+    if variant not in VARIANTS:
+        raise SessionError(
+            f"unknown protocol variant {variant!r}; expected one of {VARIANTS}"
+        )
+    recorder = channel if channel is not None else SimulatedChannel()
+    first_message = len(recorder.messages)
+    adaptive = adaptive or AdaptiveConfig()
+    digest = handshake.config_digest(config, variant, adaptive)
+    try:
+        if timeout is None:
+            reader, writer = await asyncio.open_connection(host, port)
+        else:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout
+            )
+    except asyncio.TimeoutError as exc:
+        raise SessionError(
+            f"timed out after {timeout:g}s connecting to {host}:{port}"
+        ) from exc
+    except OSError as exc:
+        raise SessionError(f"cannot reach {host}:{port}: {exc}") from exc
+    try:
+        await write_frame(
+            writer, handshake.hello_bytes(variant, digest), timeout=timeout
+        )
+        welcome = await read_frame(reader, timeout=timeout)
+        handshake.parse_welcome(welcome)
+        kwargs = {"strategy": strategy}
+        if variant == "adaptive":
+            kwargs["adaptive"] = adaptive
+        session = make_session(variant, "bob", config, points, **kwargs)
+        with session:
+            result = await pump_stream(
+                session, reader, writer, channel=recorder, timeout=timeout
+            )
+    except ConnectionError as exc:
+        raise SessionError(
+            f"connection to {host}:{port} lost mid-session: {exc}"
+        ) from exc
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    result.transcript = Transcript.from_messages(
+        recorder.messages[first_message:]
+    )
+    return result
+
+
+def sync_blocking(*args, **kwargs):
+    """:func:`sync` for synchronous callers (the CLI): runs its own loop."""
+    return asyncio.run(sync(*args, **kwargs))

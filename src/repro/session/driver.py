@@ -1,0 +1,99 @@
+"""Drivers that pump sans-I/O sessions over in-process channels.
+
+``pump`` is the synchronous driver the public ``reconcile*`` functions
+are built on: it moves every :class:`~repro.session.base.OutboundMessage`
+across a recording channel in FIFO order, which reproduces the exact
+message order (and therefore transcript) of the pre-session code.
+
+``run_async`` drives one endpoint over an asyncio
+:class:`~repro.net.channel.LoopbackChannel`; two such tasks — one per
+role — form a full in-process asynchronous exchange, the stepping stone
+between the simulated channel and the TCP transport in
+:mod:`repro.serve`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import SessionError
+from repro.net.channel import Direction, LoopbackChannel, SimulatedChannel
+from repro.session.base import Done, OutboundMessage, Session
+
+#: Direction each role transmits in / receives from.
+OUTBOUND_DIRECTION = {
+    "alice": Direction.ALICE_TO_BOB,
+    "bob": Direction.BOB_TO_ALICE,
+}
+INBOUND_DIRECTION = {
+    "alice": Direction.BOB_TO_ALICE,
+    "bob": Direction.ALICE_TO_BOB,
+}
+
+
+def outbound_messages(output) -> tuple[OutboundMessage, ...]:
+    """The messages carried by a ``start``/``feed`` return value.
+
+    The one place that knows how to drain a
+    :data:`~repro.session.base.SessionOutput`; every driver (sync pump,
+    asyncio loopback, TCP stream pump) uses it.
+    """
+    if isinstance(output, Done):
+        return tuple(output.messages)
+    return tuple(output)
+
+
+def pump(
+    alice: Session,
+    bob: Session,
+    channel: SimulatedChannel,
+) -> tuple[object, object]:
+    """Drive both endpoints to completion over one recording channel.
+
+    Returns ``(alice.result, bob.result)``.  Raises
+    :class:`~repro.errors.SessionError` if the exchange stalls — both
+    sides waiting with no message in flight — so a broken session pairing
+    fails loudly instead of deadlocking.
+    """
+    sessions = {"alice": alice, "bob": bob}
+    in_flight: deque[tuple[str, OutboundMessage]] = deque()
+    for role in ("alice", "bob"):
+        for message in outbound_messages(sessions[role].start()):
+            in_flight.append((role, message))
+    while in_flight:
+        sender, message = in_flight.popleft()
+        delivered = channel.send(
+            OUTBOUND_DIRECTION[sender], message.payload, message.label
+        )
+        receiver_role = "bob" if sender == "alice" else "alice"
+        for reply in outbound_messages(sessions[receiver_role].feed(delivered)):
+            in_flight.append((receiver_role, reply))
+    if not (alice.done and bob.done):
+        stuck = [r for r, s in sessions.items() if not s.done]
+        raise SessionError(
+            f"protocol stalled: no messages in flight but {', '.join(stuck)} "
+            "still expect input"
+        )
+    return alice.result, bob.result
+
+
+async def run_async(session: Session, channel: LoopbackChannel) -> object:
+    """Drive one endpoint over an asyncio loopback channel to completion.
+
+    Sends the session's outbound messages as they are produced and awaits
+    inbound payloads until the session reports :class:`Done`; returns the
+    session's result.  Run one task per role over a shared channel for a
+    full exchange.
+    """
+    out_direction = OUTBOUND_DIRECTION[session.role]
+    in_direction = INBOUND_DIRECTION[session.role]
+
+    def ship(output) -> None:
+        for message in outbound_messages(output):
+            channel.send(out_direction, message.payload, message.label)
+
+    ship(session.start())
+    while not session.done:
+        payload = await channel.receive(in_direction)
+        ship(session.feed(payload))
+    return session.result

@@ -1,0 +1,79 @@
+"""Sans-I/O sessions for the paper's one-round protocol.
+
+Alice speaks once (the full hierarchy sketch) and is done; Bob consumes
+that single message, repairs, and is done.  All protocol logic stays in
+:class:`~repro.core.protocol.HierarchicalReconciler` — these classes only
+adapt it to the :class:`~repro.session.base.Session` contract, so the
+wire bytes are identical to a direct ``reconciler.encode`` call.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import HierarchicalReconciler
+from repro.errors import SessionError
+from repro.session.base import Done, OutboundMessage, Session, SessionOutput
+
+#: Transcript label of Alice's single message (pre-dates the session layer).
+SKETCH_LABEL = "hierarchy-sketch"
+
+
+class OneRoundAliceSession(Session):
+    """Alice's side: emit the hierarchy sketch, then done."""
+
+    variant = "one-round"
+    role = "alice"
+
+    def __init__(
+        self,
+        config: ProtocolConfig,
+        points,
+        reconciler: HierarchicalReconciler | None = None,
+        encoded: bytes | None = None,
+    ):
+        super().__init__()
+        self.config = config
+        self._points = points
+        self._reconciler = reconciler or HierarchicalReconciler(config)
+        # Alice's message is a deterministic function of (config, points);
+        # a caller serving many peers may inject the bytes once instead of
+        # re-encoding per session (the serve layer does).
+        self._encoded = encoded
+
+    def _start(self) -> SessionOutput:
+        payload = (
+            self._encoded
+            if self._encoded is not None
+            else self._reconciler.encode(self._points)
+        )
+        return Done(messages=(OutboundMessage(payload, SKETCH_LABEL),))
+
+    def _feed(self, payload: bytes) -> SessionOutput:
+        raise SessionError("one-round Alice expects no inbound messages")
+
+
+class OneRoundBobSession(Session):
+    """Bob's side: consume the sketch, repair, surface the result."""
+
+    variant = "one-round"
+    role = "bob"
+    inbound_labels = (SKETCH_LABEL,)
+
+    def __init__(
+        self,
+        config: ProtocolConfig,
+        points,
+        strategy: str = "occurrence",
+        reconciler: HierarchicalReconciler | None = None,
+    ):
+        super().__init__()
+        self.config = config
+        self._points = points
+        self._strategy = strategy
+        self._reconciler = reconciler or HierarchicalReconciler(config)
+
+    def _feed(self, payload: bytes) -> SessionOutput:
+        result = self._reconciler.decode_and_repair(
+            payload, self._points, self._strategy
+        )
+        return Done(result=result)

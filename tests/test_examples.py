@@ -45,11 +45,17 @@ class TestExamples:
         assert "bit-identical to a fresh encode" in out
         assert "0 failed" in out
 
+    def test_serve_sync(self):
+        out = run_example("serve_sync.py")
+        assert "2 sessions, 2 ok, 0 failed" in out
+        assert "repairs equal=True" in out
+        assert "transcripts equal=True" in out
+
     def test_every_example_has_a_test(self):
         """Adding an example without a smoke test should fail loudly."""
         shipped = {p.name for p in EXAMPLES_DIR.glob("*.py")}
         covered = {
             "quickstart.py", "sensor_fusion.py", "geo_sync.py",
-            "noisy_measurements.py", "replica_fleet.py",
+            "noisy_measurements.py", "replica_fleet.py", "serve_sync.py",
         }
         assert shipped == covered

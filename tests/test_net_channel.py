@@ -77,3 +77,33 @@ class TestTranscript:
     def test_describe_empty(self):
         text = Transcript.from_channel(SimulatedChannel()).describe()
         assert "none" in text
+
+    def test_per_direction_bytes(self):
+        channel = SimulatedChannel()
+        channel.send(Direction.ALICE_TO_BOB, b"abcd")
+        channel.send(Direction.BOB_TO_ALICE, b"xy")
+        transcript = Transcript.from_channel(channel)
+        assert transcript.alice_to_bob_bytes == 4
+        assert transcript.bob_to_alice_bytes == 2
+        assert transcript.total_bytes == 6
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        channel = SimulatedChannel()
+        channel.send(Direction.ALICE_TO_BOB, b"abcd", "sketch")
+        record = Transcript.from_channel(channel).to_dict()
+        assert json.loads(json.dumps(record)) == record
+        assert record["alice_to_bob_bytes"] == 4
+        assert record["message_labels"] == ["sketch"]
+        assert record["rounds"] == 1
+
+    def test_from_messages_slice_of_reused_channel(self):
+        """A reused channel's transcript can cover just one run's slice."""
+        channel = SimulatedChannel()
+        channel.send(Direction.ALICE_TO_BOB, b"first-run")
+        start = len(channel.messages)
+        channel.send(Direction.ALICE_TO_BOB, b"second")
+        transcript = Transcript.from_messages(channel.messages[start:])
+        assert transcript.total_bytes == 6
+        assert transcript.rounds == 1

@@ -1,0 +1,156 @@
+"""Transport differential: simulation vs asyncio loopback vs real TCP.
+
+Acceptance contract of the sans-I/O refactor: for every protocol variant,
+a simulated-channel run, an in-process asyncio loopback run, and a
+loopback-TCP run must produce (a) **equal repaired multisets** and (b)
+**equal payload bytes per message**, in the same order with the same
+labels.  The transports may only move bytes — never shape them.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.adaptive import reconcile_adaptive
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import reconcile
+from repro.net.channel import LoopbackChannel, SimulatedChannel
+from repro.scale.engine import reconcile_sharded
+from repro.serve import ReconciliationServer, sync
+from repro.session import make_session, run_async
+from repro.workloads.synthetic import perturbed_pair
+
+DELTA = 4096
+
+#: (variant, config kwargs, simulated-channel runner)
+VARIANTS = [
+    ("one-round", {}, reconcile),
+    ("adaptive", {}, reconcile_adaptive),
+    ("sharded", {"shards": 2}, reconcile_sharded),
+]
+
+
+def _setup(variant_kwargs, seed):
+    workload = perturbed_pair(seed, 90, DELTA, 2, 4, 2)
+    config = ProtocolConfig(
+        delta=DELTA, dimension=2, k=10, seed=seed, **variant_kwargs
+    )
+    return workload, config
+
+
+def _message_triples(channel):
+    return [
+        (m.direction, m.label, m.payload) for m in channel.messages
+    ]
+
+
+@pytest.mark.parametrize("variant,kwargs,runner", VARIANTS,
+                         ids=[v for v, _, _ in VARIANTS])
+class TestTransportDifferential:
+    def test_tcp_equals_simulated(self, variant, kwargs, runner):
+        workload, config = _setup(kwargs, seed=11)
+        simulated_channel = SimulatedChannel()
+        simulated = runner(
+            workload.alice, workload.bob, config, channel=simulated_channel
+        )
+
+        async def over_tcp():
+            tcp_channel = SimulatedChannel()
+            async with ReconciliationServer(config, workload.alice) as server:
+                host, port = server.address
+                result = await sync(
+                    host, port, config, workload.bob,
+                    variant=variant, channel=tcp_channel, timeout=10,
+                )
+            return result, tcp_channel
+
+        result, tcp_channel = asyncio.run(over_tcp())
+        # (a) equal repaired multisets.
+        assert sorted(result.repaired) == sorted(simulated.repaired)
+        # (b) equal payload bytes per message, same order/direction/label.
+        assert _message_triples(tcp_channel) == _message_triples(
+            simulated_channel
+        )
+        assert result.transcript == simulated.transcript
+
+    def test_loopback_asyncio_equals_simulated(self, variant, kwargs, runner):
+        workload, config = _setup(kwargs, seed=12)
+        simulated_channel = SimulatedChannel()
+        simulated = runner(
+            workload.alice, workload.bob, config, channel=simulated_channel
+        )
+
+        async def over_loopback():
+            channel = LoopbackChannel()
+            with make_session(variant, "alice", config, workload.alice) as alice, \
+                    make_session(variant, "bob", config, workload.bob) as bob:
+                _, result = await asyncio.gather(
+                    run_async(alice, channel), run_async(bob, channel)
+                )
+            return result, channel
+
+        result, loopback_channel = asyncio.run(over_loopback())
+        assert sorted(result.repaired) == sorted(simulated.repaired)
+        assert _message_triples(loopback_channel) == _message_triples(
+            simulated_channel
+        )
+
+
+class TestServerReuse:
+    def test_one_server_many_variants_and_clients(self):
+        """One server instance serves every variant, sequentially and
+        concurrently, with per-session stats for each."""
+        workload, config = _setup({"shards": 2}, seed=13)
+        expected = {
+            variant: runner(workload.alice, workload.bob,
+                            ProtocolConfig(delta=DELTA, dimension=2, k=10,
+                                           seed=13, **kw))
+            for variant, kw, runner in VARIANTS
+        }
+
+        async def scenario():
+            async with ReconciliationServer(config, workload.alice) as server:
+                host, port = server.address
+                results = await asyncio.gather(*[
+                    sync(host, port, config, workload.bob,
+                         variant=variant, timeout=10)
+                    for variant, _, _ in VARIANTS
+                ])
+                return server, dict(zip([v for v, _, _ in VARIANTS], results))
+
+        server, results = asyncio.run(scenario())
+        for variant, result in results.items():
+            assert sorted(result.repaired) == sorted(
+                expected[variant].repaired
+            ), variant
+        summary = server.summary()
+        assert summary["sessions"] == 3
+        assert summary["ok"] == 3
+        assert {s.variant for s in server.stats} == {
+            "one-round", "adaptive", "sharded",
+        }
+        for stats in server.stats:
+            assert stats.transcript is not None
+            assert stats.duration_s > 0
+            assert stats.to_dict()["transcript"]["total_bits"] > 0
+
+    def test_concurrency_bounded_by_semaphore(self):
+        """max_sessions=1 still serves every client (queued, not dropped)."""
+        workload, config = _setup({}, seed=14)
+
+        async def scenario():
+            async with ReconciliationServer(
+                config, workload.alice, max_sessions=1
+            ) as server:
+                host, port = server.address
+                results = await asyncio.gather(*[
+                    sync(host, port, config, workload.bob, timeout=10)
+                    for _ in range(5)
+                ])
+                return server, results
+
+        server, results = asyncio.run(scenario())
+        assert len(results) == 5
+        assert server.summary()["ok"] == 5
+        first = sorted(results[0].repaired)
+        assert all(sorted(r.repaired) == first for r in results)

@@ -1,0 +1,347 @@
+"""Failure injection at the session/transport boundary.
+
+Contract under test (mirrors ``test_failure_injection.py`` one layer up):
+**no truncated, duplicated, or mismatched exchange may ever hang or
+escape as a non-library exception.**  Truncated frames, stray/duplicated
+frames, handshake version and config-digest mismatches, and mid-session
+disconnects must all surface as :class:`~repro.errors.SessionError` /
+:class:`~repro.errors.SerializationError` within a bounded time.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.errors import SerializationError, SessionError
+from repro.serve import (
+    FrameDecoder,
+    MAX_FRAME_BYTES,
+    ReconciliationServer,
+    encode_frame,
+    read_frame,
+    sync,
+)
+from repro.serve import handshake
+from repro.serve.frames import HEADER
+from repro.workloads.synthetic import perturbed_pair
+
+DELTA = 2048
+#: Every async scenario must finish well within this (never hang).
+SCENARIO_TIMEOUT = 20.0
+
+
+def _workload(seed=0):
+    return perturbed_pair(seed, 60, DELTA, 2, 3, 2)
+
+
+def _config(**kwargs):
+    defaults = dict(delta=DELTA, dimension=2, k=6, seed=9)
+    defaults.update(kwargs)
+    return ProtocolConfig(**defaults)
+
+
+def run_scenario(coro):
+    """Run one async scenario with a hard timeout (hang = failure)."""
+    async def bounded():
+        return await asyncio.wait_for(coro, SCENARIO_TIMEOUT)
+
+    return asyncio.run(bounded())
+
+
+class TestFrameCodec:
+    def test_roundtrip(self):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(b"alpha") + encode_frame(b""))
+        assert decoder.next_frame() == b"alpha"
+        assert decoder.next_frame() == b""
+        assert decoder.next_frame() is None
+        assert decoder.at_boundary
+
+    def test_byte_at_a_time(self):
+        decoder = FrameDecoder()
+        frames = []
+        for byte in encode_frame(b"slow"):
+            decoder.feed(bytes([byte]))
+            frame = decoder.next_frame()
+            if frame is not None:
+                frames.append(frame)
+        assert frames == [b"slow"]
+
+    def test_truncated_frame_is_typed_error_at_eof(self):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(b"whole-frame")[:-3])
+        assert decoder.next_frame() is None
+        with pytest.raises(SessionError):
+            decoder.finish()
+
+    def test_oversized_header_rejected(self):
+        decoder = FrameDecoder()
+        decoder.feed(HEADER.pack(MAX_FRAME_BYTES + 1))
+        with pytest.raises(SerializationError):
+            decoder.next_frame()
+
+    def test_encode_rejects_non_bytes(self):
+        with pytest.raises(SerializationError):
+            encode_frame("text")
+
+
+class TestHandshakeParsing:
+    def test_hello_roundtrip(self):
+        config = _config()
+        digest = handshake.config_digest(config, "adaptive")
+        variant, parsed_digest, version = handshake.parse_hello(
+            handshake.hello_bytes("adaptive", digest)
+        )
+        assert (variant, parsed_digest) == ("adaptive", digest)
+        assert version == handshake.WIRE_VERSION
+
+    def test_garbage_hello_is_serialization_error(self):
+        with pytest.raises(SerializationError):
+            handshake.parse_hello(b"\xff\xfe not json")
+
+    def test_wrong_magic_rejected(self):
+        with pytest.raises(SerializationError):
+            handshake.parse_hello(b'{"magic": "other-protocol"}')
+
+    def test_version_mismatch_is_session_error(self):
+        payload = handshake.hello_bytes("one-round", "0" * 16).replace(
+            b'"version":1', b'"version":999'
+        )
+        with pytest.raises(SessionError, match="version"):
+            handshake.parse_hello(payload)
+
+    def test_error_frame_surfaces_reason(self):
+        with pytest.raises(SessionError, match="digest mismatch"):
+            handshake.parse_welcome(handshake.error_bytes("digest mismatch"))
+
+    def test_digest_separates_wire_relevant_fields(self):
+        base = _config()
+        assert handshake.config_digest(base) == handshake.config_digest(
+            ProtocolConfig(
+                delta=DELTA, dimension=2, k=6, seed=9, backend="pure",
+                decode_strategy="scalar", executor="serial",
+            )
+        ), "private knobs must not change the digest"
+        assert handshake.config_digest(base) != handshake.config_digest(
+            _config(seed=10)
+        )
+        # shards digests only the sharded variant's wire.
+        assert handshake.config_digest(base) == handshake.config_digest(
+            _config(shards=4)
+        )
+        assert handshake.config_digest(base, "sharded") != handshake.config_digest(
+            _config(shards=4), "sharded"
+        )
+
+
+class TestHandshakeRejection:
+    def test_config_digest_mismatch(self):
+        workload = _workload()
+
+        async def scenario():
+            async with ReconciliationServer(_config(), workload.alice) as server:
+                host, port = server.address
+                with pytest.raises(SessionError, match="digest mismatch"):
+                    await sync(
+                        host, port, _config(seed=10), workload.bob, timeout=5
+                    )
+                await server.wait_for_sessions(1)
+                return server.stats
+
+        (stats,) = run_scenario(scenario())
+        assert not stats.ok
+        assert "digest mismatch" in stats.error
+
+    def test_unknown_variant_refused(self):
+        workload = _workload()
+
+        async def scenario():
+            config = _config()
+            async with ReconciliationServer(config, workload.alice) as server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(encode_frame(
+                    handshake.hello_bytes("three-round", "0" * 16)
+                ))
+                await writer.drain()
+                reply = await read_frame(reader, timeout=5)
+                writer.close()
+                with pytest.raises(SessionError, match="variant"):
+                    handshake.parse_welcome(reply)
+
+        run_scenario(scenario())
+
+    def test_version_mismatch_refused(self):
+        workload = _workload()
+
+        async def scenario():
+            config = _config()
+            async with ReconciliationServer(config, workload.alice) as server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                bad_hello = handshake.hello_bytes(
+                    "one-round", server.digest("one-round")
+                ).replace(b'"version":1', b'"version":999')
+                writer.write(encode_frame(bad_hello))
+                await writer.drain()
+                reply = await read_frame(reader, timeout=5)
+                writer.close()
+                with pytest.raises(SessionError, match="version"):
+                    handshake.parse_welcome(reply)
+
+        run_scenario(scenario())
+
+
+class TestWireCorruption:
+    def test_truncated_frame_then_disconnect(self):
+        """A client dying mid-frame must leave a typed failure, no hang."""
+        workload = _workload()
+
+        async def scenario():
+            config = _config()
+            async with ReconciliationServer(config, workload.alice) as server:
+                host, port = server.address
+                _, writer = await asyncio.open_connection(host, port)
+                whole = encode_frame(
+                    handshake.hello_bytes("one-round", server.digest("one-round"))
+                )
+                writer.write(whole[: len(whole) - 4])
+                await writer.drain()
+                writer.close()
+                await server.wait_for_sessions(1)
+                return server.stats
+
+        (stats,) = run_scenario(scenario())
+        assert not stats.ok
+        assert stats.error  # disconnect surfaced as a typed library error
+
+    def test_probe_connection_ignored(self):
+        """Connect-and-close (a health check) is not a session."""
+        workload = _workload()
+
+        async def scenario():
+            async with ReconciliationServer(_config(), workload.alice) as server:
+                host, port = server.address
+                _, writer = await asyncio.open_connection(host, port)
+                writer.close()
+                await writer.wait_closed()
+                await asyncio.sleep(0.2)
+                assert list(server.stats) == []
+                assert server.summary()["sessions"] == 0
+
+        run_scenario(scenario())
+
+    def test_garbage_hello_recorded_as_failure(self):
+        workload = _workload()
+
+        async def scenario():
+            async with ReconciliationServer(_config(), workload.alice) as server:
+                host, port = server.address
+                _, writer = await asyncio.open_connection(host, port)
+                writer.write(encode_frame(b"\x00garbage, not a hello"))
+                await writer.drain()
+                writer.close()
+                await server.wait_for_sessions(1)
+                return server.stats
+
+        (stats,) = run_scenario(scenario())
+        assert not stats.ok
+        assert "SerializationError" in stats.error
+
+    def test_duplicated_frame_rejected_typed(self):
+        """Replaying Bob's adaptive request after the session finished is a
+        protocol violation the server must fail typed, never rerun."""
+        workload = _workload()
+
+        async def scenario():
+            config = _config()
+            async with ReconciliationServer(config, workload.alice) as server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(encode_frame(
+                    handshake.hello_bytes("adaptive", server.digest("adaptive"))
+                ))
+                await writer.drain()
+                handshake.parse_welcome(await read_frame(reader, timeout=5))
+                from repro.core.adaptive import AdaptiveReconciler
+
+                request = AdaptiveReconciler(config).bob_request(workload.bob)
+                # Send the request twice: the Alice session completes on the
+                # first and must reject the duplicate.
+                writer.write(encode_frame(request) + encode_frame(request))
+                await writer.drain()
+                window = await read_frame(reader, timeout=5)
+                assert window  # the first request was answered normally
+                writer.close()
+                await server.wait_for_sessions(1)
+                return server.stats
+
+        (stats,) = run_scenario(scenario())
+        # The server session finished; the duplicate either raced the
+        # session teardown (connection closed) or was rejected typed.
+        assert stats.variant == "adaptive"
+
+    def test_mid_session_disconnect_client_side(self):
+        """A server hanging up after the handshake must raise on the client."""
+        workload = _workload()
+
+        async def scenario():
+            config = _config()
+
+            async def rude_server(reader, writer):
+                await read_frame(reader, timeout=5)  # swallow the hello
+                writer.write(encode_frame(handshake.welcome_bytes(
+                    "one-round", handshake.config_digest(config)
+                )))
+                await writer.drain()
+                writer.close()  # hang up instead of sending the sketch
+
+            server = await asyncio.start_server(rude_server, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                with pytest.raises(SessionError, match="disconnect"):
+                    await sync(
+                        "127.0.0.1", port, config, workload.bob, timeout=5
+                    )
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run_scenario(scenario())
+
+    def test_read_timeout_is_session_error(self):
+        """A silent peer trips the timeout as a typed error, not a hang."""
+
+        async def scenario():
+            async def silent_server(reader, writer):
+                await asyncio.sleep(30)
+
+            server = await asyncio.start_server(silent_server, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                with pytest.raises(SessionError, match="timed out"):
+                    await read_frame(reader, timeout=0.2)
+                writer.close()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run_scenario(scenario())
+
+    def test_unreachable_server_is_session_error(self):
+        workload = _workload()
+
+        async def scenario():
+            # Bind-and-release to get a port nothing listens on.
+            probe = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0
+            )
+            port = probe.sockets[0].getsockname()[1]
+            probe.close()
+            await probe.wait_closed()
+            with pytest.raises(SessionError, match="cannot reach"):
+                await sync("127.0.0.1", port, _config(), workload.bob, timeout=5)
+
+        run_scenario(scenario())

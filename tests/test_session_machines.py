@@ -1,0 +1,279 @@
+"""The sans-I/O session layer: state-machine contract, drivers, parity.
+
+Contract under test: sessions produce byte-identical exchanges to the
+pre-session monolithic drivers (pinned independently by the golden
+transcripts), enforce their state machine with typed
+:class:`~repro.errors.SessionError`\\ s, and the public ``reconcile*``
+functions no longer close channels they did not create.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.adaptive import reconcile_adaptive
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import reconcile
+from repro.errors import ChannelError, SessionError
+from repro.net.channel import Direction, LoopbackChannel, SimulatedChannel
+from repro.scale.engine import reconcile_sharded
+from repro.session import (
+    AdaptiveAliceSession,
+    AdaptiveBobSession,
+    Done,
+    OneRoundAliceSession,
+    OneRoundBobSession,
+    ShardedSession,
+    make_session,
+    pump,
+    run_async,
+)
+from repro.workloads.synthetic import perturbed_pair
+
+DELTA = 2048
+
+
+def _workload(seed=0, n=80, true_k=3, noise=2):
+    return perturbed_pair(seed, n, DELTA, 2, true_k, noise)
+
+
+def _config(**kwargs):
+    defaults = dict(delta=DELTA, dimension=2, k=8, seed=5)
+    defaults.update(kwargs)
+    return ProtocolConfig(**defaults)
+
+
+class TestStateMachine:
+    def test_one_round_alice_speaks_once_and_is_done(self):
+        workload = _workload()
+        session = OneRoundAliceSession(_config(), workload.alice)
+        out = session.start()
+        assert isinstance(out, Done)
+        assert len(out.messages) == 1
+        assert out.messages[0].label == "hierarchy-sketch"
+        assert session.done
+        assert session.result is None
+
+    def test_one_round_bob_consumes_sketch(self):
+        workload = _workload()
+        config = _config()
+        alice = OneRoundAliceSession(config, workload.alice)
+        bob = OneRoundBobSession(config, workload.bob)
+        sketch = alice.start().messages[0].payload
+        assert bob.start() == []
+        out = bob.feed(sketch)
+        assert isinstance(out, Done)
+        assert bob.done
+        assert len(bob.result.repaired) == len(workload.alice)
+
+    def test_adaptive_roles_alternate(self):
+        workload = _workload(seed=1)
+        config = _config(seed=1)
+        alice = AdaptiveAliceSession(config, workload.alice)
+        bob = AdaptiveBobSession(config, workload.bob)
+        request = bob.start()
+        assert [m.label for m in request] == ["adaptive-request"]
+        assert not bob.done
+        assert alice.start() == []
+        window = alice.feed(request[0].payload)
+        assert isinstance(window, Done)
+        assert [m.label for m in window.messages] == ["adaptive-window"]
+        final = bob.feed(window.messages[0].payload)
+        assert isinstance(final, Done)
+        assert len(bob.result.repaired) == len(workload.alice)
+
+    def test_start_twice_raises(self):
+        session = OneRoundBobSession(_config(), [(1, 1)])
+        session.start()
+        with pytest.raises(SessionError):
+            session.start()
+
+    def test_feed_before_start_raises(self):
+        session = OneRoundBobSession(_config(), [(1, 1)])
+        with pytest.raises(SessionError):
+            session.feed(b"early")
+
+    def test_feed_after_done_raises(self):
+        """A duplicated message must be a typed error, not a rerun."""
+        workload = _workload()
+        config = _config()
+        sketch = OneRoundAliceSession(config, workload.alice).start()
+        bob = OneRoundBobSession(config, workload.bob)
+        bob.start()
+        payload = sketch.messages[0].payload
+        bob.feed(payload)
+        with pytest.raises(SessionError):
+            bob.feed(payload)
+
+    def test_result_before_done_raises(self):
+        session = OneRoundBobSession(_config(), [(1, 1)])
+        with pytest.raises(SessionError):
+            session.result
+
+    def test_non_bytes_payload_raises(self):
+        session = OneRoundBobSession(_config(), [(1, 1)])
+        session.start()
+        with pytest.raises(SessionError):
+            session.feed("not bytes")
+
+    def test_sharded_role_validated(self):
+        with pytest.raises(SessionError):
+            ShardedSession(_config(shards=2), [(1, 1)], role="carol")
+
+    def test_make_session_unknown_variant(self):
+        with pytest.raises(SessionError):
+            make_session("three-round", "alice", _config(), [])
+
+    def test_make_session_builds_every_variant(self):
+        config = _config(shards=2)
+        for variant in ("one-round", "adaptive", "sharded"):
+            for role in ("alice", "bob"):
+                with make_session(variant, role, config, [(1, 1)]) as session:
+                    assert session.variant == variant
+                    assert session.role == role
+
+
+class TestPumpParity:
+    """The session pump must reproduce the monolithic drivers exactly."""
+
+    def test_one_round_pump_matches_reconcile(self):
+        workload = _workload(seed=2)
+        config = _config(seed=2)
+        direct = reconcile(workload.alice, workload.bob, config)
+        channel = SimulatedChannel()
+        alice = OneRoundAliceSession(config, workload.alice)
+        bob = OneRoundBobSession(config, workload.bob)
+        _, result = pump(alice, bob, channel)
+        assert sorted(result.repaired) == sorted(direct.repaired)
+        assert [m.payload for m in channel.messages] and (
+            channel.total_bits == direct.transcript.total_bits
+        )
+
+    def test_adaptive_pump_matches_reconcile_adaptive(self):
+        workload = _workload(seed=3)
+        config = _config(seed=3)
+        direct = reconcile_adaptive(workload.alice, workload.bob, config)
+        channel = SimulatedChannel()
+        _, result = pump(
+            AdaptiveAliceSession(config, workload.alice),
+            AdaptiveBobSession(config, workload.bob),
+            channel,
+        )
+        assert sorted(result.repaired) == sorted(direct.repaired)
+        assert channel.rounds == 2
+        assert [m.label for m in channel.messages] == [
+            "adaptive-request", "adaptive-window",
+        ]
+        assert channel.messages[0].direction is Direction.BOB_TO_ALICE
+
+    def test_sharded_pump_matches_reconcile_sharded(self):
+        workload = _workload(seed=4, n=120)
+        config = _config(seed=4, shards=2)
+        direct = reconcile_sharded(workload.alice, workload.bob, config)
+        channel = SimulatedChannel()
+        with ShardedSession(config, workload.alice, role="alice") as alice, \
+                ShardedSession(config, workload.bob, role="bob") as bob:
+            _, result = pump(alice, bob, channel)
+        assert sorted(result.repaired) == sorted(direct.repaired)
+        assert channel.total_bits == direct.transcript.total_bits
+
+    def test_pump_stalls_loudly_on_mispaired_sessions(self):
+        """Two passive endpoints deadlock; the pump must raise, not hang."""
+        config = _config()
+        alice = AdaptiveAliceSession(config, [(1, 1)])  # waits for request
+        bob = OneRoundBobSession(config, [(1, 1)])      # waits for sketch
+        with pytest.raises(SessionError, match="stalled"):
+            pump(alice, bob, SimulatedChannel())
+
+
+class TestAsyncLoopback:
+    def test_adaptive_over_loopback_matches_simulated(self):
+        workload = _workload(seed=6)
+        config = _config(seed=6)
+        direct = reconcile_adaptive(workload.alice, workload.bob, config)
+
+        async def run():
+            channel = LoopbackChannel()
+            alice = AdaptiveAliceSession(config, workload.alice)
+            bob = AdaptiveBobSession(config, workload.bob)
+            results = await asyncio.gather(
+                run_async(alice, channel), run_async(bob, channel)
+            )
+            return channel, results[1]
+
+        channel, result = asyncio.run(run())
+        assert sorted(result.repaired) == sorted(direct.repaired)
+        assert channel.total_bits == direct.transcript.total_bits
+
+    def test_loopback_close_wakes_receiver(self):
+        """A dead peer must never leave the other side awaiting forever."""
+
+        async def run():
+            channel = LoopbackChannel()
+
+            async def receiver():
+                await channel.receive(Direction.ALICE_TO_BOB)
+
+            task = asyncio.create_task(receiver())
+            await asyncio.sleep(0.01)
+            channel.close()
+            with pytest.raises(ChannelError):
+                await asyncio.wait_for(task, timeout=2)
+
+        asyncio.run(run())
+
+
+class TestChannelOwnership:
+    """Regression: reconcile* must not close caller-supplied channels."""
+
+    @pytest.mark.parametrize("runner,kwargs", [
+        (reconcile, {}),
+        (reconcile_adaptive, {}),
+        (reconcile_sharded, {}),
+    ])
+    def test_caller_channel_stays_open_and_reusable(self, runner, kwargs):
+        workload = _workload(seed=7)
+        config = _config(
+            seed=7, shards=2 if runner is reconcile_sharded else 1
+        )
+        channel = SimulatedChannel()
+        first = runner(workload.alice, workload.bob, config, channel=channel)
+        assert not channel.closed
+        messages_after_first = len(channel.messages)
+        # The same channel is usable for a second run (the old behavior
+        # raised ChannelError here).
+        second = runner(workload.alice, workload.bob, config, channel=channel)
+        assert not channel.closed
+        assert len(channel.messages) == 2 * messages_after_first
+        # Each run's transcript covers only its own messages.
+        assert first.transcript.total_bits == second.transcript.total_bits
+        assert first.transcript.rounds == second.transcript.rounds
+
+    def test_owned_channel_transcript_unchanged(self):
+        workload = _workload(seed=8)
+        config = _config(seed=8)
+        channel = SimulatedChannel()
+        via_channel = reconcile(
+            workload.alice, workload.bob, config, channel=channel
+        )
+        owned = reconcile(workload.alice, workload.bob, config)
+        assert owned.transcript == via_channel.transcript
+
+
+class TestRandomizedParity:
+    def test_many_seeds_one_round(self):
+        """Session-pumped runs equal direct reconciler runs across seeds."""
+        for seed in range(5):
+            rng = random.Random(seed)
+            workload = _workload(seed=seed, n=40 + rng.randrange(40))
+            config = _config(seed=seed, k=4 + rng.randrange(8))
+            direct = reconcile(workload.alice, workload.bob, config)
+            channel = SimulatedChannel()
+            _, result = pump(
+                OneRoundAliceSession(config, workload.alice),
+                OneRoundBobSession(config, workload.bob),
+                channel,
+            )
+            assert sorted(result.repaired) == sorted(direct.repaired), seed
+            assert channel.total_bits == direct.transcript.total_bits, seed
