@@ -28,7 +28,9 @@ import statistics
 import time
 
 from repro.analysis.tables import Table
+from repro.core.adaptive import AdaptiveConfig, AdaptiveReconciler
 from repro.core.config import ProtocolConfig
+from repro.core.protocol import HierarchicalReconciler
 from repro.iblt.backends import available_backends
 from repro.serve import ReconciliationServer, sync
 from repro.workloads.synthetic import perturbed_pair
@@ -54,6 +56,16 @@ def _config():
     )
 
 
+def _client_reconciler(variant, config):
+    """One Bob-side engine reused across a level's syncs (grid build paid
+    once — the same amortisation a real repeatedly-syncing client does)."""
+    if variant == "one-round":
+        return HierarchicalReconciler(config)
+    if variant == "adaptive":
+        return AdaptiveReconciler(config, AdaptiveConfig())
+    return None
+
+
 async def _measure_level(
     server, config, bob_points, variant, concurrency, syncs
 ):
@@ -61,12 +73,14 @@ async def _measure_level(
     host, port = server.address
     gate = asyncio.Semaphore(concurrency)
     latencies = []
+    reconciler = _client_reconciler(variant, config)
 
     async def one_sync():
         async with gate:
             started = time.perf_counter()
             result = await sync(
-                host, port, config, bob_points, variant=variant, timeout=60
+                host, port, config, bob_points, variant=variant, timeout=60,
+                reconciler=reconciler,
             )
             latencies.append(time.perf_counter() - started)
             return result

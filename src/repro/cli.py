@@ -44,6 +44,7 @@ from repro.core.protocol import reconcile
 from repro.errors import ReproError
 from repro.iblt.backends import available_backends, backend_names
 from repro.iblt.decode import DECODE_STRATEGIES
+from repro.net import codec
 from repro.scale import reconcile_sharded
 from repro.scale.executors import executors_available
 from repro.serve import DEFAULT_TIMEOUT, ReconciliationServer, sync_blocking
@@ -75,6 +76,15 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["auto"] + backend_names(), default="auto",
         help="IBLT cell-storage backend (default: auto = fastest available)",
     )
+    wire_codec_kwargs = dict(
+        choices=("vector", "scalar"), default="vector", dest="wire_codec",
+        help=(
+            "wire codec path: 'vector' (default) packs whole tables "
+            "columnarly when numpy is available, 'scalar' forces the "
+            "field-at-a-time reference (diagnostics / A-B measurement; "
+            "the bytes are identical either way)"
+        ),
+    )
 
     rec = sub.add_parser("reconcile", help="reconcile Bob towards Alice")
     rec.add_argument("workload", type=Path, help="JSON from 'generate' (or same schema)")
@@ -83,6 +93,7 @@ def _build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--adaptive", action="store_true",
                      help="use the two-round adaptive protocol")
     rec.add_argument("--backend", **backend_kwargs)
+    rec.add_argument("--wire-codec", **wire_codec_kwargs)
     rec.add_argument("--decode-strategy", choices=DECODE_STRATEGIES,
                      default="batch", dest="decode_strategy",
                      help="IBLT peeling strategy: batch (round-based, "
@@ -105,6 +116,7 @@ def _build_parser() -> argparse.ArgumentParser:
     est.add_argument("--k", type=int, default=16)
     est.add_argument("--seed", type=int, default=0)
     est.add_argument("--backend", **backend_kwargs)
+    est.add_argument("--wire-codec", **wire_codec_kwargs)
 
     info = sub.add_parser("info", help="analytic predictions for a config")
     info.add_argument("--delta", type=int, default=2**16)
@@ -120,6 +132,7 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--k", type=int, default=16)
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--backend", **backend_kwargs)
+    serve.add_argument("--wire-codec", **wire_codec_kwargs)
     serve.add_argument("--shards", type=int, default=1,
                        help="shard count clients of the sharded variant "
                             "must match")
@@ -154,6 +167,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help=">1 selects the sharded variant (must match the "
                           "server's --shards)")
     syn.add_argument("--backend", **backend_kwargs)
+    syn.add_argument("--wire-codec", **wire_codec_kwargs)
     syn.add_argument("--timeout", type=float, default=DEFAULT_TIMEOUT)
     syn.add_argument("--output", type=Path, default=None,
                      help="write the repaired set to this JSON path")
@@ -360,6 +374,10 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "wire_codec", "vector") == "scalar":
+        # Process-wide diagnostic switch: every payload this run touches
+        # goes through the field-at-a-time reference (same bytes).
+        codec.FORCE_SCALAR = True
     handlers = {
         "generate": cmd_generate,
         "reconcile": cmd_reconcile,

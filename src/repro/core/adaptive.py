@@ -62,14 +62,37 @@ class AdaptiveConfig:
             )
 
 
-class AdaptiveReconciler:
-    """Both endpoints of the two-round protocol."""
+#: Bound on the reused-window-table cache (window shapes vary with client
+#: estimates; a long-lived server must not grow per-peer state unbounded).
+_WINDOW_CACHE_LIMIT = 64
 
-    def __init__(self, config: ProtocolConfig, adaptive: AdaptiveConfig | None = None):
+
+class AdaptiveReconciler:
+    """Both endpoints of the two-round protocol.
+
+    ``reuse_alice_state=True`` opts into caching Alice's deterministic
+    per-level work — her own strata estimators and the sized window
+    tables — across calls to :meth:`alice_respond`.  Only safe when every
+    call passes the *same* point multiset (the serve layer's case: one
+    server-side point set, many connections); the cache is keyed on the
+    points object's identity and resets if a different object shows up.
+    """
+
+    def __init__(
+        self,
+        config: ProtocolConfig,
+        adaptive: AdaptiveConfig | None = None,
+        *,
+        reuse_alice_state: bool = False,
+    ):
         self.config = config
         self.adaptive = adaptive or AdaptiveConfig()
         self._one_round = HierarchicalReconciler(config)
         self.grid = self._one_round.grid
+        self._reuse = reuse_alice_state
+        self._cached_points: object | None = None
+        self._estimator_cache: dict[int, StrataEstimator] = {}
+        self._window_cache: dict[tuple[int, int], IBLT] = {}
 
     # ----------------------------------------------------------- shared bits
 
@@ -103,9 +126,41 @@ class AdaptiveReconciler:
             yield hash_with_salt(key, salt) & mask
 
     def _build_estimator(self, points, level: int) -> StrataEstimator:
-        estimator = StrataEstimator(self._estimator_config(level))
+        estimator = StrataEstimator(
+            self._estimator_config(level), backend=self.config.backend
+        )
         estimator.insert_all(self._hashed_keys(points, level))
         return estimator
+
+    # ---------------------------------------------------- Alice state reuse
+
+    def _check_reuse_points(self, points) -> None:
+        """Drop the caches if a different point multiset shows up."""
+        if self._cached_points is not points:
+            self._estimator_cache.clear()
+            self._window_cache.clear()
+            self._cached_points = points
+
+    def _alice_estimator(self, points, level: int) -> StrataEstimator:
+        if not self._reuse:
+            return self._build_estimator(points, level)
+        estimator = self._estimator_cache.get(level)
+        if estimator is None:
+            estimator = self._build_estimator(points, level)
+            self._estimator_cache[level] = estimator
+        return estimator
+
+    def _alice_window_table(self, points, level: int, cells: int) -> IBLT:
+        if not self._reuse:
+            return self._one_round.level_table(points, level, cells)
+        key = (level, cells)
+        table = self._window_cache.get(key)
+        if table is None:
+            if len(self._window_cache) >= _WINDOW_CACHE_LIMIT:
+                self._window_cache.pop(next(iter(self._window_cache)))
+            table = self._one_round.level_table(points, level, cells)
+            self._window_cache[key] = table
+        return table
 
     # -------------------------------------------------------------- round 1
 
@@ -129,12 +184,14 @@ class AdaptiveReconciler:
         if reader.read_uint(8) != VERSION:
             raise SerializationError("unsupported adaptive request version")
         reader.read_varint()  # Bob's size; informational
+        self._check_reuse_points(alice_points)
         estimates: dict[int, int] = {}
         for level in self.sampled_levels():
             bob_estimator = StrataEstimator.read_from(
-                reader, self._estimator_config(level)
+                reader, self._estimator_config(level),
+                backend=self.config.backend,
             )
-            mine = self._build_estimator(alice_points, level)
+            mine = self._alice_estimator(alice_points, level)
             estimates[level] = mine.estimate_difference(
                 bob_estimator, strategy=self.config.decode_strategy
             )
@@ -149,7 +206,7 @@ class AdaptiveReconciler:
         for level, cells in window:
             writer.write_varint(level)
             writer.write_varint(cells)
-            table = self._one_round.level_table(alice_points, level, cells)
+            table = self._alice_window_table(alice_points, level, cells)
             table.write_to(writer)
         return writer.getvalue()
 

@@ -103,6 +103,25 @@ class Backend(abc.ABC):
     def rows(self) -> Iterator[tuple[int, int, int]]:
         """All cells in index order, as Python-int triples (serialisation)."""
 
+    def rows_arrays(self) -> tuple[Sequence[int], Sequence[int], Sequence[int]]:
+        """All cells as three parallel columns (counts, key_sums, check_sums).
+
+        The wire codec's bulk read side: array backends return their native
+        column arrays so a whole table serialises without a per-cell Python
+        round-trip.  The returned sequences are backend-owned — callers must
+        treat them as read-only.  This reference implementation derives the
+        columns from :meth:`rows`, so third-party backends stay correct
+        (if slow) without overriding.
+        """
+        counts: list[int] = []
+        key_sums: list[int] = []
+        check_sums: list[int] = []
+        for count, key, check in self.rows():
+            counts.append(count)
+            key_sums.append(key)
+            check_sums.append(check)
+        return counts, key_sums, check_sums
+
     @abc.abstractmethod
     def is_empty(self) -> bool:
         """True when every cell is zero."""

@@ -38,6 +38,11 @@ class PureBackend(Backend):
             check_sums[index] ^= check
 
     def apply_batch(self, keys: Sequence[int], delta: int) -> None:
+        if hasattr(keys, "tolist"):
+            # numpy batches (e.g. the strata estimator's bulk stratum
+            # grouping): numpy integer scalars lack ``bit_length``, so run
+            # the reference loop over Python ints.
+            keys = keys.tolist()
         for key in keys:
             self.apply(key, delta)
 
@@ -55,10 +60,18 @@ class PureBackend(Backend):
         clone.check_sums = list(self.check_sums)
         return clone
 
+    @staticmethod
+    def _column(values) -> list:
+        # numpy columns (the vectorized wire codec's bulk path) convert to
+        # Python ints in one C pass; anything else element-wise.
+        if hasattr(values, "tolist"):
+            return values.tolist()
+        return [int(v) for v in values]
+
     def load_rows(self, counts, key_sums, check_sums) -> None:
-        self.counts = [int(c) for c in counts]
-        self.key_sums = [int(k) for k in key_sums]
-        self.check_sums = [int(s) for s in check_sums]
+        self.counts = self._column(counts)
+        self.key_sums = self._column(key_sums)
+        self.check_sums = self._column(check_sums)
 
     # -------------------------------------------------------------- reading
 
@@ -67,6 +80,10 @@ class PureBackend(Backend):
 
     def rows(self) -> Iterator[tuple[int, int, int]]:
         return zip(self.counts, self.key_sums, self.check_sums)
+
+    def rows_arrays(self):
+        # The live column lists (read-only by contract; no copies).
+        return self.counts, self.key_sums, self.check_sums
 
     def is_empty(self) -> bool:
         return (

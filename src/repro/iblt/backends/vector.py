@@ -181,14 +181,22 @@ class NumpyBackend(Backend):
 
     def load_rows(self, counts, key_sums, check_sums) -> None:
         if isinstance(counts, _np.ndarray):
-            # Bulk path (the sharded wire codec hands over whole arrays).
+            # Bulk path (the wire codec hands over whole arrays).
             self.counts = counts.astype(_np.int64, copy=True)
             self.key_sums = key_sums.astype(_U64, copy=True)
             self.check_sums = check_sums.astype(_U64, copy=True)
             return
-        self.counts = _np.array([int(c) for c in counts], dtype=_np.int64)
-        self.key_sums = _np.array([int(k) for k in key_sums], dtype=_U64)
-        self.check_sums = _np.array([int(s) for s in check_sums], dtype=_U64)
+        try:
+            # One C-level conversion per column; uint64 holds keys and
+            # checksums up to 2^64 - 1 (>= 2^63 included) directly.
+            self.counts = _np.asarray(counts, dtype=_np.int64)
+            self.key_sums = _np.asarray(key_sums, dtype=_U64)
+            self.check_sums = _np.asarray(check_sums, dtype=_U64)
+        except (OverflowError, TypeError, ValueError) as exc:
+            raise ConfigError(
+                f"cell rows do not fit the numpy backend's native widths "
+                f"(int64 counts, uint64 sums): {exc}"
+            ) from exc
 
     # -------------------------------------------------------------- reading
 
@@ -203,6 +211,10 @@ class NumpyBackend(Backend):
         return zip(
             self.counts.tolist(), self.key_sums.tolist(), self.check_sums.tolist()
         )
+
+    def rows_arrays(self):
+        # The live cell arrays (read-only by contract; no copies).
+        return self.counts, self.key_sums, self.check_sums
 
     def is_empty(self) -> bool:
         return not (

@@ -19,6 +19,11 @@ from __future__ import annotations
 
 import random
 
+try:  # soft dependency: only the bulk (array) paths use numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
 MASK64 = (1 << 64) - 1
 
 _GOLDEN = 0x9E3779B97F4A7C15
@@ -156,6 +161,26 @@ class TabulationHash:
             result ^= self._tables[i][(value >> (8 * i)) & 0xFF]
         return result
 
+    def hash_many(self, values: "_np.ndarray") -> "_np.ndarray":
+        """Hash a whole uint64 array (bit-identical to per-key ``__call__``).
+
+        Eight table-lookup gathers replace the eight Python ops per key;
+        the lookup tables are mirrored into one ``(8, 256)`` uint64 array
+        lazily on first use.  Callers gate on numpy availability.
+        """
+        if _np is None:  # pragma: no cover - callers gate on numpy
+            raise RuntimeError("TabulationHash.hash_many requires numpy")
+        tables = getattr(self, "_np_tables", None)
+        if tables is None:
+            tables = _np.array(self._tables, dtype=_np.uint64)
+            self._np_tables = tables
+        values = _np.asarray(values, dtype=_np.uint64)
+        result = _np.zeros(values.shape, dtype=_np.uint64)
+        mask = _np.uint64(0xFF)
+        for i in range(8):
+            result ^= tables[i][(values >> _np.uint64(8 * i)) & mask]
+        return result
+
 
 def trailing_zeros(value: int, limit: int) -> int:
     """Number of trailing zero bits of ``value``, capped at ``limit``.
@@ -167,3 +192,22 @@ def trailing_zeros(value: int, limit: int) -> int:
         return limit
     count = (value & -value).bit_length() - 1  # position of lowest set bit
     return count if count < limit else limit
+
+
+def trailing_zeros_many(values: "_np.ndarray", limit: int) -> "_np.ndarray":
+    """Vectorized :func:`trailing_zeros` over a uint64 array.
+
+    The lowest set bit ``v & (~v + 1)`` is an exact power of two, which
+    float64 represents exactly at every exponent up to 2^63, so ``log2``
+    recovers its position without precision loss.  Zeros map to ``limit``,
+    exactly like the scalar reference.  Callers gate on numpy availability.
+    """
+    if _np is None:  # pragma: no cover - callers gate on numpy
+        raise RuntimeError("trailing_zeros_many requires numpy")
+    values = _np.asarray(values, dtype=_np.uint64)
+    lowest = values & (~values + _np.uint64(1))
+    lowest[values == 0] = 1  # placeholder; overwritten by the zero mask below
+    positions = _np.log2(lowest.astype(_np.float64)).astype(_np.int64)
+    positions = _np.minimum(positions, limit)
+    positions[values == 0] = limit
+    return positions

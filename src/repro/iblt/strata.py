@@ -15,9 +15,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+try:  # soft dependency: bulk stratum assignment vectorizes, the rest never needs it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
 from repro.errors import ConfigError, SerializationError
 from repro.iblt.decode import decode
-from repro.iblt.hashing import TabulationHash, trailing_zeros
+from repro.iblt.hashing import TabulationHash, trailing_zeros, trailing_zeros_many
 from repro.iblt.table import IBLT, IBLTConfig
 from repro.net.bits import BitReader, BitWriter
 
@@ -59,14 +64,30 @@ class StrataEstimator:
     Usage: each party builds an estimator over its keys with identical
     config, one ships ``to_bytes()``, the receiver calls
     :meth:`estimate_difference` against its own estimator.
+
+    ``backend`` selects the cell-storage engine hosting the stratum
+    tables (see :mod:`repro.iblt.backends`); like the IBLT's backend it
+    is a private, per-party choice — all backends are bit-compatible, so
+    the wire bytes and estimates are identical.
     """
 
-    def __init__(self, config: StrataConfig):
+    def __init__(self, config: StrataConfig, backend: str | None = None):
         self.config = config
         self._stratum_hash = TabulationHash(config.seed ^ 0x57A7A)
         self.tables = [
-            IBLT(config.iblt_config(i)) for i in range(config.strata)
+            IBLT(config.iblt_config(i), backend=backend)
+            for i in range(config.strata)
         ]
+
+    @classmethod
+    def _shell(cls, config: StrataConfig) -> "StrataEstimator":
+        """An estimator without its tables yet (deserialisation fast path:
+        building ``strata`` fresh tables just to replace them is wasted
+        allocation on the serve layer's per-connection hot path)."""
+        estimator = cls.__new__(cls)
+        estimator.config = config
+        estimator._stratum_hash = TabulationHash(config.seed ^ 0x57A7A)
+        return estimator
 
     def _stratum_of(self, key: int) -> int:
         return trailing_zeros(self._stratum_hash(key), self.config.strata - 1)
@@ -76,7 +97,55 @@ class StrataEstimator:
         self.tables[self._stratum_of(key)].insert(key)
 
     def insert_all(self, keys) -> None:
-        """Add every key of an iterable."""
+        """Add every key of an iterable.
+
+        With numpy available the stratum assignment runs in bulk — one
+        vectorized tabulation hash plus a trailing-zeros pass over the
+        whole batch — and each stratum's table ingests its keys through
+        the batch insert path.  The resulting tables are identical to the
+        scalar reference path (:meth:`_insert_all_scalar`): assignment is
+        the same per key, and cell updates commute.
+        """
+        if _np is None:
+            self._insert_all_scalar(keys)
+            return
+        if not isinstance(keys, (list, tuple)) and not hasattr(keys, "dtype"):
+            keys = list(keys)
+        if len(keys) == 0:
+            return
+        try:
+            if hasattr(keys, "dtype"):
+                # Signed arrays with negatives (and non-integer dtypes)
+                # would cast into uint64 silently; the scalar path rejects
+                # them per key instead.
+                if keys.dtype.kind not in "ui":
+                    raise TypeError
+                if keys.dtype.kind == "i" and keys.size and keys.min() < 0:
+                    raise OverflowError
+            elif min(keys) < 0:
+                # NumPy 1.x silently wraps negative Python ints into uint64;
+                # route negatives through the scalar path's per-key rejection.
+                raise OverflowError
+            arr = _np.asarray(keys, dtype=_np.uint64)
+        except (OverflowError, TypeError, ValueError):
+            # Keys wider than 64 bits (or exotic objects): the scalar path
+            # folds / validates them per key.
+            self._insert_all_scalar(keys)
+            return
+        strata = trailing_zeros_many(
+            self._stratum_hash.hash_many(arr), self.config.strata - 1
+        )
+        for index in range(self.config.strata):
+            selected = arr[strata == index]
+            if selected.size:
+                self.tables[index].insert_many(selected)
+
+    def _insert_all_scalar(self, keys) -> None:
+        """The per-key reference path (also the no-numpy fallback)."""
+        if hasattr(keys, "tolist"):
+            # Iterating an ndarray yields numpy scalars, which the per-key
+            # validation rejects for the wrong reason (no ``bit_length``).
+            keys = keys.tolist()
         for key in keys:
             self.insert(key)
 
@@ -128,20 +197,30 @@ class StrataEstimator:
         return writer.getvalue()
 
     @classmethod
-    def read_from(cls, reader: BitReader, config: StrataConfig) -> "StrataEstimator":
+    def read_from(
+        cls,
+        reader: BitReader,
+        config: StrataConfig,
+        backend: str | None = None,
+    ) -> "StrataEstimator":
         """Deserialise an estimator written with :meth:`write_to`."""
-        estimator = cls(config)
+        estimator = cls._shell(config)
         estimator.tables = [
-            IBLT.read_from(reader, config.iblt_config(i))
+            IBLT.read_from(reader, config.iblt_config(i), backend=backend)
             for i in range(config.strata)
         ]
         return estimator
 
     @classmethod
-    def from_bytes(cls, data: bytes, config: StrataConfig) -> "StrataEstimator":
+    def from_bytes(
+        cls,
+        data: bytes,
+        config: StrataConfig,
+        backend: str | None = None,
+    ) -> "StrataEstimator":
         """Deserialise from a standalone byte string."""
         reader = BitReader(data)
-        estimator = cls.read_from(reader, config)
+        estimator = cls.read_from(reader, config, backend=backend)
         try:
             reader.expect_end()
         except SerializationError as exc:

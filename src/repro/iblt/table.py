@@ -37,6 +37,7 @@ from repro.errors import ConfigError, SerializationError
 from repro.iblt.backends import Backend, resolve_backend
 from repro.iblt.hashing import HashFamily
 from repro.net.bits import BitReader, BitWriter
+from repro.net.codec import read_cells, write_cells
 
 #: Asymptotic peeling thresholds for q-regular random hypergraphs: a table
 #: with m cells decodes w.h.p. while the number of stored keys stays below
@@ -227,12 +228,7 @@ class IBLT:
         other_backend = other._backend
         if type(other_backend) is not type(self._backend):
             converted = type(self._backend)(other.config)
-            rows = list(other_backend.rows())
-            converted.load_rows(
-                [row[0] for row in rows],
-                [row[1] for row in rows],
-                [row[2] for row in rows],
-            )
+            converted.load_rows(*other_backend.rows_arrays())
             other_backend = converted
         return IBLT._wrap(self.config, self._backend.subtract(other_backend))
 
@@ -277,16 +273,24 @@ class IBLT:
         """Deep copy (used by the decoder, which peels destructively)."""
         return IBLT._wrap(self.config, self._backend.copy())
 
+    def rows_arrays(self):
+        """The three parallel cell columns, backend-native (read-only)."""
+        return self._backend.rows_arrays()
+
     # ------------------------------------------------------------------ wire
 
     def write_to(self, writer: BitWriter) -> None:
-        """Serialise cell contents (the config travels via public coins)."""
-        key_bits = self.config.key_bits
-        check_bits = self.config.checksum_bits
-        for count, key, check in self._backend.rows():
-            writer.write_svarint(count)
-            writer.write_uint(key, key_bits)
-            writer.write_uint(check, check_bits)
+        """Serialise cell contents (the config travels via public coins).
+
+        Routed through the shared wire codec (:mod:`repro.net.codec`):
+        whole-table columnar packing when numpy is available, the scalar
+        field-at-a-time reference otherwise — same bytes either way.
+        """
+        counts, key_sums, check_sums = self._backend.rows_arrays()
+        write_cells(
+            writer, counts, key_sums, check_sums,
+            self.config.key_bits, self.config.checksum_bits,
+        )
 
     def to_bytes(self) -> bytes:
         """Serialise to a standalone byte string."""
@@ -298,14 +302,15 @@ class IBLT:
     def read_from(
         cls, reader: BitReader, config: IBLTConfig, backend: str | None = None
     ) -> "IBLT":
-        """Deserialise a table previously written with :meth:`write_to`."""
-        counts: list[int] = []
-        key_sums: list[int] = []
-        check_sums: list[int] = []
-        for _ in range(config.cells):
-            counts.append(reader.read_svarint())
-            key_sums.append(reader.read_uint(config.key_bits))
-            check_sums.append(reader.read_uint(config.checksum_bits))
+        """Deserialise a table previously written with :meth:`write_to`.
+
+        The shared wire codec parses all cells in bulk (columnar unpack on
+        numpy, scalar reference otherwise) and hands the columns straight
+        to the backend's ``load_rows``.
+        """
+        counts, key_sums, check_sums = read_cells(
+            reader, config.cells, config.key_bits, config.checksum_bits
+        )
         table = cls(config, backend=backend)
         table._backend.load_rows(counts, key_sums, check_sums)
         return table

@@ -26,6 +26,11 @@ Example
 
 from __future__ import annotations
 
+try:  # soft dependency: the bulk array paths vectorize, the rest never needs it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
 from repro.errors import SerializationError
 
 
@@ -145,6 +150,41 @@ class BitWriter:
         else:
             self._append(int.from_bytes(data, "big"), 8 * len(data))
 
+    def write_bits(self, bits) -> None:
+        """Bulk-append a sequence of bits (each 0 or 1), MSB of the run first.
+
+        The vectorized wire codec's write primitive (:mod:`repro.net.codec`):
+        with numpy installed the run is packed eight-at-a-time through
+        ``np.packbits`` and lands as whole bytes at any alignment — the cost
+        is a handful of array operations instead of one Python call per
+        field.  Without numpy the run degrades to per-bit appends.  Values
+        other than 0/1 are rejected on the pure path and undefined on the
+        array path (internal callers only ever pass masks).
+        """
+        n = len(bits)
+        if n == 0:
+            return
+        if _np is None:
+            for bit in bits:
+                self.write_bit(int(bit))
+            return
+        run = _np.asarray(bits, dtype=_np.uint8)
+        if self._acc_bits:
+            # Prepend the sub-byte remainder so the packed run starts aligned.
+            head = _np.empty(self._acc_bits, dtype=_np.uint8)
+            for i in range(self._acc_bits):
+                head[self._acc_bits - 1 - i] = (self._acc >> i) & 1
+            run = _np.concatenate([head, run])
+            self._acc = 0
+            self._acc_bits = 0
+        packed = _np.packbits(run)
+        whole, rem = len(run) >> 3, len(run) & 7
+        self._buffer += packed[:whole].tobytes()
+        if rem:
+            self._acc = int(packed[whole]) >> (8 - rem)
+            self._acc_bits = rem
+        self._bit_len += n
+
     def getvalue(self) -> bytes:
         """Return the accumulated bits, zero-padded to a whole byte string."""
         if self._acc_bits == 0:
@@ -198,6 +238,51 @@ class BitReader:
     def read_bit(self) -> int:
         """Read a single bit."""
         return self._take(1)
+
+    def peek_bits(self, count: int):
+        """The next ``count`` bits as a 0/1 sequence, without consuming them.
+
+        The vectorized wire codec's read primitive: with numpy installed the
+        spanned bytes are expanded once through ``np.unpackbits`` (a uint8
+        array comes back); without numpy a plain list of ints.  Overruns
+        raise the same :class:`~repro.errors.SerializationError` as
+        field-at-a-time reads.
+        """
+        if count < 0:
+            raise SerializationError(f"cannot peek {count} bits")
+        if count == 0:
+            return _np.empty(0, dtype=_np.uint8) if _np is not None else []
+        pos = self._pos
+        if pos + count > self._total_bits:
+            raise SerializationError(
+                f"read of {count} bits overruns message "
+                f"({self.bits_remaining} bits remain)"
+            )
+        start = pos >> 3
+        bit_offset = pos & 7
+        span = (bit_offset + count + 7) >> 3
+        if _np is None:
+            chunk = int.from_bytes(self._view[start:start + span], "big")
+            excess = span * 8 - bit_offset - count
+            value = (chunk >> excess) & ((1 << count) - 1)
+            return [(value >> (count - 1 - i)) & 1 for i in range(count)]
+        raw = _np.frombuffer(self._view[start:start + span], dtype=_np.uint8)
+        return _np.unpackbits(raw)[bit_offset:bit_offset + count]
+
+    def read_bits(self, count: int):
+        """Read ``count`` bits as a 0/1 sequence (see :meth:`peek_bits`)."""
+        bits = self.peek_bits(count)
+        self._pos += count
+        return bits
+
+    def skip_bits(self, count: int) -> None:
+        """Advance past ``count`` bits already examined via :meth:`peek_bits`."""
+        if count < 0 or self._pos + count > self._total_bits:
+            raise SerializationError(
+                f"skip of {count} bits overruns message "
+                f"({self.bits_remaining} bits remain)"
+            )
+        self._pos += count
 
     def read_uint(self, width: int) -> int:
         """Read an unsigned integer of exactly ``width`` bits."""

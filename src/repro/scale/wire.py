@@ -13,10 +13,11 @@ columnar cell layout**: every cell of a level spends exactly
 bits (``count_width`` derived from the header's point count: a level holds
 one key per point, so a cell's count never exceeds ``n_points``), and a
 level's cells become one contiguous bit blob.  Fixed widths make the blob
-a pure bit-matrix, so numpy packs and unpacks whole tables with
-``packbits`` / ``unpackbits`` instead of ~3 Python calls per cell — and
-the pure-Python fallback writes the *identical* bytes through the
-reference :class:`~repro.net.bits.BitWriter`, keeping the wire
+a pure bit-matrix; the cell packing itself lives in the shared wire codec
+(:mod:`repro.net.codec`), which packs and unpacks whole tables with
+``packbits`` / ``unpackbits`` when numpy is available and writes the
+*identical* bytes through the reference
+:class:`~repro.net.bits.BitWriter` otherwise, keeping the wire
 backend-independent.
 
 Layout::
@@ -33,17 +34,13 @@ slice path.
 
 from __future__ import annotations
 
-try:  # the codec runs (on the reference path) without numpy
-    import numpy as _np
-except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
-    _np = None
-
 from repro.core.config import ProtocolConfig
 from repro.core.grid import ShiftedGridHierarchy
 from repro.core.sketch import HierarchySketch, LevelSketch, level_iblt_config
 from repro.errors import SerializationError
 from repro.iblt.table import IBLT
-from repro.net.bits import BitReader, BitWriter, zigzag_decode, zigzag_encode
+from repro.net.bits import BitReader, BitWriter
+from repro.net.codec import decode_cells_fixed, encode_cells_fixed
 
 SKETCH_MAGIC = 0xB7
 SKETCH_VERSION = 2
@@ -83,38 +80,17 @@ def count_width(n_points: int) -> int:
 
 
 def _cell_blob(table: IBLT, width: int) -> bytes:
-    """One level's cells as a fixed-width bit blob (vectorized when hosted
-    on the numpy backend, reference bit-writer otherwise — same bytes)."""
-    key_bits = table.config.key_bits
-    check_bits = table.config.checksum_bits
-    counts = table.counts
-    if _np is not None and isinstance(counts, _np.ndarray) and key_bits <= 64:
-        zig = _np.where(counts >= 0, 2 * counts, -2 * counts - 1)
-        if len(zig) and int(zig.max()).bit_length() > width:
-            # Mirror the reference writer's does-not-fit error.
-            raise SerializationError(
-                f"cell count {int(counts[zig.argmax()])} does not fit the "
-                f"{width}-bit count field"
-            )
-        zig = zig.astype(_np.uint64)
-        total = width + key_bits + check_bits
-        bits = _np.empty((len(counts), total), dtype=_np.uint8)
-        for offset, field_width, values in (
-            (0, width, zig),
-            (width, key_bits, table.key_sums),
-            (width + key_bits, check_bits, table.check_sums),
-        ):
-            shifts = _np.arange(field_width - 1, -1, -1, dtype=_np.uint64)
-            bits[:, offset:offset + field_width] = (
-                (values[:, None] >> shifts[None, :]) & _np.uint64(1)
-            ).astype(_np.uint8)
-        return _np.packbits(bits.ravel()).tobytes()
-    writer = BitWriter()
-    for count, key, check in table._backend.rows():
-        writer.write_uint(zigzag_encode(count), width)
-        writer.write_uint(key, key_bits)
-        writer.write_uint(check, check_bits)
-    return writer.getvalue()
+    """One level's cells as a fixed-width bit blob.
+
+    Delegates to the shared codec (:mod:`repro.net.codec`): columnar
+    ``packbits`` when numpy is available — whatever backend hosts the
+    table — reference bit-writer otherwise; same bytes either way.
+    """
+    counts, key_sums, check_sums = table.rows_arrays()
+    return encode_cells_fixed(
+        counts, key_sums, check_sums,
+        width, table.config.key_bits, table.config.checksum_bits,
+    )
 
 
 def _load_blob(
@@ -131,34 +107,9 @@ def _load_blob(
             f"{config.cells} cells need {expected}"
         )
     table = IBLT(config, backend=backend)
-    if (
-        _np is not None
-        and isinstance(table.counts, _np.ndarray)
-        and key_bits <= 64
-    ):
-        bits = _np.unpackbits(
-            _np.frombuffer(blob, dtype=_np.uint8), count=config.cells * total
-        ).reshape(config.cells, total)
-
-        def field(offset: int, field_width: int) -> "_np.ndarray":
-            shifts = _np.arange(field_width - 1, -1, -1, dtype=_np.uint64)
-            return (
-                bits[:, offset:offset + field_width].astype(_np.uint64)
-                << shifts[None, :]
-            ).sum(axis=1, dtype=_np.uint64)
-
-        zig = field(0, width).astype(_np.int64)  # width <= 63: no wrap
-        counts = _np.where(zig % 2 == 0, zig // 2, -((zig + 1) // 2))
-        table._backend.load_rows(
-            counts, field(width, key_bits), field(width + key_bits, check_bits)
-        )
-        return table
-    reader = BitReader(blob)
-    counts, key_sums, check_sums = [], [], []
-    for _ in range(config.cells):
-        counts.append(zigzag_decode(reader.read_uint(width)))
-        key_sums.append(reader.read_uint(key_bits))
-        check_sums.append(reader.read_uint(check_bits))
+    counts, key_sums, check_sums = decode_cells_fixed(
+        blob, config.cells, width, key_bits, check_bits
+    )
     table._backend.load_rows(counts, key_sums, check_sums)
     return table
 

@@ -39,48 +39,75 @@ def _validate_length(length: int, context: str) -> int:
     return length
 
 
-def encode_frame(payload: bytes) -> bytes:
-    """Frame one payload: 4-byte big-endian length + bytes."""
-    if not isinstance(payload, (bytes, bytearray)):
+def _check_payload(payload) -> None:
+    if not isinstance(payload, (bytes, bytearray, memoryview)):
         raise SerializationError(
             f"frame payload must be bytes, got {type(payload).__name__}"
         )
     _validate_length(len(payload), "outbound frame")
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Frame one payload: 4-byte big-endian length + bytes.
+
+    Concatenates header and payload into one fresh byte string — fine for
+    tests and small control frames; the streaming path
+    (:func:`write_frame`) writes the two parts separately so multi-MB
+    sketches are never copied just to be framed.
+    """
+    _check_payload(payload)
     return HEADER.pack(len(payload)) + bytes(payload)
 
 
 class FrameDecoder:
-    """Incremental frame parser: feed stream chunks, pop whole payloads."""
+    """Incremental frame parser: feed stream chunks, pop whole payloads.
+
+    Consumed bytes advance a cursor instead of being deleted from the
+    front of the buffer (a ``del`` memmoves the whole remainder per
+    frame); the buffer compacts only when the dead prefix dominates.
+    """
 
     def __init__(self) -> None:
         self._buffer = bytearray()
+        self._start = 0  # consumed prefix; compacted lazily
 
     def feed(self, data: bytes) -> None:
         """Append one chunk of stream bytes."""
         self._buffer.extend(data)
 
+    def _compact(self) -> None:
+        if self._start and (
+            self._start >= len(self._buffer) or self._start > 1 << 16
+        ):
+            del self._buffer[:self._start]
+            self._start = 0
+
     def next_frame(self) -> bytes | None:
         """Pop the next complete payload, or ``None`` if more bytes needed."""
-        if len(self._buffer) < HEADER.size:
+        available = len(self._buffer) - self._start
+        if available < HEADER.size:
             return None
-        (length,) = HEADER.unpack_from(self._buffer)
+        (length,) = HEADER.unpack_from(self._buffer, self._start)
         _validate_length(length, "frame header")
-        if len(self._buffer) < HEADER.size + length:
+        if available < HEADER.size + length:
             return None
-        payload = bytes(self._buffer[HEADER.size:HEADER.size + length])
-        del self._buffer[:HEADER.size + length]
+        begin = self._start + HEADER.size
+        payload = bytes(memoryview(self._buffer)[begin:begin + length])
+        self._start = begin + length
+        self._compact()
         return payload
 
     @property
     def at_boundary(self) -> bool:
         """True when no partial frame is buffered (a clean place to EOF)."""
-        return not self._buffer
+        return len(self._buffer) == self._start
 
     def finish(self) -> None:
         """Declare end-of-stream; a buffered partial frame is an error."""
         if not self.at_boundary:
             raise SessionError(
-                f"stream ended mid-frame with {len(self._buffer)} stray bytes"
+                f"stream ended mid-frame with "
+                f"{len(self._buffer) - self._start} stray bytes"
             )
 
 
@@ -141,8 +168,19 @@ async def write_frame(
     stops reading (full socket buffers, multi-MB sketch in flight) must
     surface as a typed :class:`~repro.errors.SessionError`, not occupy a
     handler forever.
+
+    Large payloads are written as two pieces — the payload bytes go to
+    the transport buffer as-is (zero-copy for the multi-MB sketch case)
+    instead of being concatenated into a fresh framed string first.
+    Small control frames keep the single concatenated write, so they
+    leave in one segment.
     """
-    writer.write(encode_frame(payload))
+    _check_payload(payload)
+    if len(payload) <= 4096:
+        writer.write(HEADER.pack(len(payload)) + bytes(payload))
+    else:
+        writer.write(HEADER.pack(len(payload)))
+        writer.write(payload)
     if timeout is None:
         await writer.drain()
         return

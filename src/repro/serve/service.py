@@ -219,11 +219,17 @@ class ReconciliationServer:
         one-way variants, whose opening message is a deterministic
         function of (config, points) — the encoded payload itself, so a
         session costs near-O(1) server CPU instead of re-encoding the
-        whole point set per connection.
+        whole point set per connection.  The adaptive reconciler
+        additionally reuses Alice's per-level estimators and window
+        tables across connections (``reuse_alice_state``) — the server's
+        point multiset is fixed for its lifetime, which is exactly the
+        contract that flag requires.
         """
         factories = {
             "one-round": lambda: HierarchicalReconciler(self.config),
-            "adaptive": lambda: AdaptiveReconciler(self.config, self.adaptive),
+            "adaptive": lambda: AdaptiveReconciler(
+                self.config, self.adaptive, reuse_alice_state=True
+            ),
             "sharded": lambda: ShardedReconciler(self.config),
         }
         if variant not in self._reconcilers:
@@ -315,10 +321,16 @@ class ReconciliationServer:
                     "public-coin ProtocolConfig must be identical"
                 )
         except ReproError as exc:
-            # Refuse loudly (typed error on the client) before closing.
-            await write_frame(
-                writer, handshake.error_bytes(str(exc)), timeout=self.timeout
-            )
+            # Refuse loudly (typed error on the client) before closing.  A
+            # peer that already vanished must not mask the typed refusal
+            # with its connection error.
+            try:
+                await write_frame(
+                    writer, handshake.error_bytes(str(exc)),
+                    timeout=self.timeout,
+                )
+            except (ConnectionError, OSError, SessionError):
+                pass
             raise
         async with self._semaphore:
             await write_frame(
@@ -351,6 +363,7 @@ async def sync(
     strategy: str = "occurrence",
     channel: SimulatedChannel | None = None,
     timeout: float | None = DEFAULT_TIMEOUT,
+    reconciler=None,
 ):
     """Sync this process's points (as Bob) against a server (Alice).
 
@@ -359,6 +372,12 @@ async def sync(
     :class:`~repro.scale.engine.ShardedResult`) with a measured transcript
     attached.  Handshake refusals, disconnects, and timeouts raise
     :class:`~repro.errors.SessionError`.
+
+    ``reconciler`` lets a caller syncing repeatedly with one config reuse
+    the variant's engine (grid construction, shard executors) across
+    calls instead of rebuilding it per sync; it must match ``config`` and
+    ``variant``.  A sharded reconciler passed in stays owned by the
+    caller — this function never closes it.
     """
     if variant not in VARIANTS:
         raise SessionError(
@@ -390,6 +409,8 @@ async def sync(
         kwargs = {"strategy": strategy}
         if variant == "adaptive":
             kwargs["adaptive"] = adaptive
+        if reconciler is not None:
+            kwargs["reconciler"] = reconciler
         session = make_session(variant, "bob", config, points, **kwargs)
         with session:
             result = await pump_stream(
