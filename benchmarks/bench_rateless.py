@@ -1,0 +1,303 @@
+"""B6 — Rateless streaming vs one-round and adaptive: bytes and throughput.
+
+Three measurements:
+
+1. **Bytes vs true difference** — clean (noise-free) replica pairs with
+   ``d`` genuinely different points, ``d`` swept geometrically.  The
+   one-round sketch ships every grid level sized for ``k``; adaptive pays
+   an estimation round plus conservatively sized windows; rateless streams
+   fixed-schedule increments until Bob's resumable peel succeeds, so its
+   bytes track ``d`` itself.
+2. **Bytes vs set size** — ``d`` held fixed while ``n`` grows 16x.  The
+   rateless stream stops after the same number of increments regardless
+   of ``n``: bytes depend on the difference, not the sets.
+3. **Sessions/sec over loopback TCP** — the bench_serve harness shape
+   (one server, semaphore-gated async Bobs) for adaptive vs rateless.
+   A small-diff rateless sync is one tiny increment and one ack, no
+   estimator round, so it wins on throughput as well as bytes.
+
+What to expect: at small ``d`` the rateless stream undercuts adaptive on
+both bytes and sessions/sec (the smoke test enforces this — it is the
+variant's reason to exist); as ``d`` grows its bytes rise geometrically
+with the schedule while staying within a constant factor of the final
+table size.  The JSON record (``b6_rateless.json`` /
+``b6_rateless_smoke.json``) is the artifact CI consumes; the full run is
+copied to ``BENCH_6.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.analysis.tables import Table
+from repro.core.adaptive import AdaptiveConfig, AdaptiveReconciler, reconcile_adaptive
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import reconcile
+from repro.core.rateless import RatelessConfig, RatelessReconciler, reconcile_rateless
+from repro.iblt.backends import available_backends
+from repro.serve import ReconciliationServer, sync
+from repro.workloads.synthetic import perturbed_pair
+
+DELTA = 2**16
+SEED = 0
+BACKEND = "numpy" if "numpy" in available_backends() else "pure"
+
+DIFF_SIZES = (2, 8, 32, 128)
+SET_SIZES = (100, 400, 1600)
+SET_SWEEP_DIFF = 8
+WORKLOAD_N = 400
+THROUGHPUT_SYNCS = 64
+THROUGHPUT_CONCURRENCY = 8
+
+RUNNERS = {
+    "one-round": reconcile,
+    "adaptive": reconcile_adaptive,
+    "rateless": reconcile_rateless,
+}
+
+
+def _workload(d, n=WORKLOAD_N, seed=SEED):
+    """Clean replicas: exactly ``d`` moved points, zero noise, so the true
+    difference is ``d`` and level-0 reconciliation is a ``~2d``-key decode."""
+    return perturbed_pair(seed, n, DELTA, 2, d, 0)
+
+
+def _config(d):
+    return ProtocolConfig(
+        delta=DELTA, dimension=2, k=max(8, 2 * d), seed=SEED, backend=BACKEND
+    )
+
+
+# ----------------------------------------------------------- bytes sweeps
+
+
+def _bytes_row(variant, runner, workload, config):
+    result = runner(workload.alice, workload.bob, config)
+    assert sorted(result.repaired) == sorted(workload.alice), variant
+    transcript = result.transcript
+    return {
+        "variant": variant,
+        "bytes": transcript.total_bytes,
+        "rounds": transcript.rounds,
+        "messages": len(transcript.message_labels),
+    }
+
+
+def sweep_diff_sizes(diff_sizes=DIFF_SIZES, variants=tuple(RUNNERS)):
+    """Bytes on the wire per variant as the true difference grows."""
+    rows = []
+    for d in diff_sizes:
+        workload = _workload(d)
+        config = _config(d)
+        for variant in variants:
+            row = _bytes_row(variant, RUNNERS[variant], workload, config)
+            row.update({"d": d, "n": WORKLOAD_N})
+            rows.append(row)
+    return rows
+
+
+def sweep_set_sizes(set_sizes=SET_SIZES, d=SET_SWEEP_DIFF):
+    """Rateless bytes as the set size grows 16x at a fixed difference."""
+    rows = []
+    for n in set_sizes:
+        workload = _workload(d, n=n)
+        config = _config(d)
+        row = _bytes_row("rateless", reconcile_rateless, workload, config)
+        row.update({"d": d, "n": n})
+        rows.append(row)
+    return rows
+
+
+# ------------------------------------------------------ sessions/sec (TCP)
+
+
+def _client_reconciler(variant, config):
+    if variant == "adaptive":
+        return AdaptiveReconciler(config, AdaptiveConfig())
+    if variant == "rateless":
+        return RatelessReconciler(config, RatelessConfig())
+    return None
+
+
+async def _throughput(variants, d, syncs, concurrency):
+    workload = _workload(d)
+    config = _config(d)
+    rows = []
+    async with ReconciliationServer(
+        config, workload.alice, max_sessions=concurrency
+    ) as server:
+        host, port = server.address
+        for variant in variants:
+            await sync(host, port, config, workload.bob,
+                       variant=variant, timeout=60)  # warm caches
+            reconciler = _client_reconciler(variant, config)
+            gate = asyncio.Semaphore(concurrency)
+
+            async def one_sync():
+                async with gate:
+                    return await sync(
+                        host, port, config, workload.bob, variant=variant,
+                        timeout=60, reconciler=reconciler,
+                    )
+
+            started = time.perf_counter()
+            results = await asyncio.gather(*[one_sync() for _ in range(syncs)])
+            wall = time.perf_counter() - started
+            assert all(
+                sorted(r.repaired) == sorted(workload.alice) for r in results
+            )
+            rows.append({
+                "variant": variant,
+                "d": d,
+                "syncs": syncs,
+                "concurrency": concurrency,
+                "wall_s": round(wall, 4),
+                "sessions_per_sec": round(syncs / wall, 2),
+            })
+    return rows
+
+
+def sweep_throughput(
+    variants=("adaptive", "rateless"),
+    d=SET_SWEEP_DIFF,
+    syncs=THROUGHPUT_SYNCS,
+    concurrency=THROUGHPUT_CONCURRENCY,
+):
+    return asyncio.run(_throughput(variants, d, syncs, concurrency))
+
+
+# -------------------------------------------------------------- rendering
+
+
+def experiment(
+    diff_sizes=DIFF_SIZES,
+    set_sizes=SET_SIZES,
+    syncs=THROUGHPUT_SYNCS,
+    concurrency=THROUGHPUT_CONCURRENCY,
+):
+    """Run all three measurements; returns (payload, rendered text)."""
+    diff_rows = sweep_diff_sizes(diff_sizes)
+    size_rows = sweep_set_sizes(set_sizes)
+    throughput_rows = sweep_throughput(
+        d=min(SET_SWEEP_DIFF, max(diff_sizes)),
+        syncs=syncs, concurrency=concurrency,
+    )
+
+    diff_table = Table(
+        ["d", "variant", "bytes", "rounds", "messages"],
+        title=(
+            f"B6a: bytes on the wire vs true difference "
+            f"(n={WORKLOAD_N}, delta=2^16, backend={BACKEND})"
+        ),
+    )
+    for row in diff_rows:
+        diff_table.add_row([
+            row["d"], row["variant"], row["bytes"],
+            row["rounds"], row["messages"],
+        ])
+
+    size_table = Table(
+        ["n", "d", "bytes", "messages"],
+        title=f"B6b: rateless bytes vs set size (fixed d={SET_SWEEP_DIFF})",
+    )
+    for row in size_rows:
+        size_table.add_row([row["n"], row["d"], row["bytes"], row["messages"]])
+
+    tput_table = Table(
+        ["variant", "d", "syncs", "concurrency", "sessions/s"],
+        title="B6c: loopback-TCP throughput, adaptive vs rateless",
+    )
+    for row in throughput_rows:
+        tput_table.add_row([
+            row["variant"], row["d"], row["syncs"],
+            row["concurrency"], f"{row['sessions_per_sec']:.1f}",
+        ])
+
+    payload = {
+        "experiment": "b6_rateless",
+        "backend": BACKEND,
+        "workload": {
+            "n": WORKLOAD_N, "delta": DELTA, "dimension": 2,
+            "noise": 0, "seed": SEED,
+        },
+        "rateless_config": {
+            "level": RatelessConfig().level,
+            "initial_cells": RatelessConfig().initial_cells,
+            "growth": RatelessConfig().growth,
+            "max_increments": RatelessConfig().max_increments,
+        },
+        "bytes_vs_diff": diff_rows,
+        "bytes_vs_set_size": size_rows,
+        "throughput": throughput_rows,
+    }
+    text = "\n\n".join(
+        [diff_table.render(), size_table.render(), tput_table.render()]
+    )
+    return payload, text
+
+
+def _by_variant(rows, d):
+    return {
+        row["variant"]: row for row in rows if row["d"] == d
+    }
+
+
+def _check_contract(payload, small_d):
+    """The acceptance contract: rateless bytes track the difference and
+    beat adaptive on both metrics at small diffs."""
+    diff_rows = payload["bytes_vs_diff"]
+    small = _by_variant(diff_rows, small_d)
+    assert small["rateless"]["bytes"] < small["adaptive"]["bytes"], (
+        "rateless must undercut adaptive's bytes at small differences"
+    )
+    rateless_bytes = [
+        row["bytes"] for row in diff_rows if row["variant"] == "rateless"
+    ]
+    assert rateless_bytes[0] < rateless_bytes[-1], (
+        "rateless bytes must grow with the true difference"
+    )
+    assert all(
+        earlier <= later
+        for earlier, later in zip(rateless_bytes, rateless_bytes[1:])
+    ), "rateless bytes must be monotone in the difference size"
+    size_bytes = [row["bytes"] for row in payload["bytes_vs_set_size"]]
+    assert max(size_bytes) <= 1.5 * min(size_bytes), (
+        "rateless bytes must not track the set size"
+    )
+    throughput = {row["variant"]: row for row in payload["throughput"]}
+    if {"adaptive", "rateless"} <= set(throughput):
+        assert (
+            throughput["rateless"]["sessions_per_sec"]
+            > throughput["adaptive"]["sessions_per_sec"]
+        ), "small-diff rateless syncs must beat adaptive on sessions/sec"
+
+
+def test_rateless_bench(benchmark, emit, emit_json):
+    """The recorded run: full sweeps plus the TCP throughput comparison."""
+    holder = {}
+
+    def run():
+        holder["payload"], holder["text"] = experiment()
+
+    benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    emit("b6_rateless", holder["text"])
+    emit_json("b6_rateless", holder["payload"])
+    _check_contract(holder["payload"], small_d=DIFF_SIZES[0])
+
+
+def test_rateless_smoke(emit, emit_json):
+    """CI smoke: tiny sweeps, same contract — fails the build if rateless
+    ever loses to adaptive on bytes or throughput at small diffs."""
+    # d=32 needs several increments while d=2 fits in one, so the
+    # bytes-grow-with-difference assertion has room to bite.
+    payload, text = experiment(
+        diff_sizes=(2, 32), set_sizes=(100, 400), syncs=12, concurrency=4
+    )
+    emit("b6_rateless_smoke", text)
+    emit_json("b6_rateless_smoke", payload)
+    _check_contract(payload, small_d=2)
+
+
+if __name__ == "__main__":
+    print(experiment()[1])

@@ -42,9 +42,12 @@ multi-core encode/decode, and per-shard sketch sizing.  See
 
 Serving over a network
 ----------------------
-Every protocol variant is a sans-I/O session state machine
-(:mod:`repro.session`); the ``reconcile*`` functions above are thin
-drivers pumping those sessions over a simulated channel.
+Every protocol variant — one-round, adaptive, sharded, and the rateless
+stream (:func:`repro.core.rateless.reconcile_rateless`, whose bytes track
+the *true* difference size with no estimation round) — is a sans-I/O
+session state machine
+(:mod:`repro.session`); the ``reconcile*`` functions are thin drivers
+pumping those sessions over a simulated channel.
 :mod:`repro.serve` pumps the same sessions over real TCP: an asyncio
 server (Alice) with a handshake, bounded session concurrency, and
 per-session stats, plus an async client (Bob) — wire bytes identical to
@@ -61,6 +64,7 @@ from repro.core.config import ProtocolConfig
 from repro.core.grid import ShiftedGridHierarchy
 from repro.core.incremental import IncrementalSketch
 from repro.core.protocol import HierarchicalReconciler, ReconcileResult, reconcile
+from repro.core.rateless import RatelessConfig, RatelessReconciler, reconcile_rateless
 from repro.emd import emd, emd_1d, emd_k
 from repro.errors import (
     CapacityExceeded,
@@ -98,6 +102,8 @@ __all__ = [
     "HierarchicalReconciler",
     "LoopbackChannel",
     "ProtocolConfig",
+    "RatelessConfig",
+    "RatelessReconciler",
     "ReconcileResult",
     "ReconciliationFailure",
     "ReproError",
@@ -117,6 +123,7 @@ __all__ = [
     "emd_k",
     "reconcile",
     "reconcile_adaptive",
+    "reconcile_rateless",
     "reconcile_sharded",
     "__version__",
 ]

@@ -41,6 +41,7 @@ from repro.core.bounds import (
 )
 from repro.core.config import ProtocolConfig
 from repro.core.protocol import reconcile
+from repro.core.rateless import reconcile_rateless
 from repro.errors import ReproError
 from repro.iblt.backends import available_backends, backend_names
 from repro.iblt.decode import DECODE_STRATEGIES
@@ -92,6 +93,9 @@ def _build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--seed", type=int, default=0)
     rec.add_argument("--adaptive", action="store_true",
                      help="use the two-round adaptive protocol")
+    rec.add_argument("--rateless", action="store_true",
+                     help="use the rateless streaming protocol (bytes track "
+                          "the true difference; no estimation round)")
     rec.add_argument("--backend", **backend_kwargs)
     rec.add_argument("--wire-codec", **wire_codec_kwargs)
     rec.add_argument("--decode-strategy", choices=DECODE_STRATEGIES,
@@ -163,6 +167,8 @@ def _build_parser() -> argparse.ArgumentParser:
     syn.add_argument("--seed", type=int, default=0)
     syn.add_argument("--adaptive", action="store_true",
                      help="use the two-round adaptive variant")
+    syn.add_argument("--rateless", action="store_true",
+                     help="use the rateless streaming variant")
     syn.add_argument("--shards", type=int, default=1,
                      help=">1 selects the sharded variant (must match the "
                           "server's --shards)")
@@ -217,14 +223,24 @@ def cmd_generate(args) -> int:
 
 
 def _select_variant(args) -> str:
-    """Shared ``--adaptive``/``--shards`` dispatch (reconcile and sync)."""
-    if args.adaptive and args.shards > 1:
+    """Shared ``--adaptive``/``--rateless``/``--shards`` dispatch
+    (reconcile and sync)."""
+    picked = [
+        flag for flag, on in (
+            ("--adaptive", args.adaptive),
+            ("--rateless", args.rateless),
+            ("--shards", args.shards > 1),
+        ) if on
+    ]
+    if len(picked) > 1:
         raise ReproError(
-            "--adaptive and --shards are mutually exclusive (the sharded "
-            "engine runs the one-round protocol per shard)"
+            f"{' and '.join(picked)} are mutually exclusive: pick one "
+            "protocol variant"
         )
     if args.shards > 1:
         return "sharded"
+    if args.rateless:
+        return "rateless"
     return "adaptive" if args.adaptive else "one-round"
 
 
@@ -253,6 +269,9 @@ def cmd_reconcile(args) -> int:
     elif variant == "adaptive":
         runner = reconcile_adaptive
         protocol = "adaptive 2-round"
+    elif variant == "rateless":
+        runner = reconcile_rateless
+        protocol = "rateless streaming"
     else:
         runner = reconcile
         protocol = "one-round"
@@ -332,7 +351,7 @@ def cmd_serve(args) -> int:
             host, port = server.address
             print(f"serving {len(points)} points on {host}:{port} "
                   f"(k={args.k}, seed={args.seed}, shards={args.shards}; "
-                  f"variants: one-round, adaptive, sharded)", flush=True)
+                  f"variants: one-round, adaptive, sharded, rateless)", flush=True)
             if args.max_syncs is not None:
                 await server.wait_for_sessions(args.max_syncs)
             else:

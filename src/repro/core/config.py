@@ -4,6 +4,12 @@ A :class:`ProtocolConfig` is the public-coin contract between the two
 parties: both construct it identically (same seed) and never transmit it.
 Everything a run needs — the grid geometry, the IBLT shape, the budget
 parameter ``k`` — lives here and is validated once, up front.
+
+Every protocol variant shares this one config: the one-round hierarchy
+sketch, the sharded engine (``shards``), the adaptive two-round variant
+(plus :class:`~repro.core.adaptive.AdaptiveConfig`), and the rateless
+stream (plus :class:`~repro.core.rateless.RatelessConfig`, whose segment
+schedule is seeded from this config's public coins).
 """
 
 from __future__ import annotations
@@ -85,8 +91,10 @@ class ProtocolConfig:
         :mod:`repro.iblt.decode`): ``"batch"`` (default, round-based and
         vectorized on array backends) or ``"scalar"`` (the reference
         one-key-at-a-time peel, for diagnostics and differential testing).
-        Both recover identical key sets, so this is private — it does not
-        affect the wire bytes or the repair.
+        Also drives the rateless variant's resumable
+        :class:`~repro.iblt.decode.PeelState`.  Both strategies recover
+        identical key sets, so this is private — it does not affect the
+        wire bytes or the repair.
     """
 
     delta: int

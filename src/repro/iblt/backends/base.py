@@ -189,6 +189,37 @@ class Backend(abc.ABC):
         for key, sign in zip(keys, signs):
             self.apply(int(key), -int(sign))
 
+    def merge_cells(
+        self,
+        indices: Sequence[int],
+        counts: Sequence[int],
+        key_sums: Sequence[int],
+        check_sums: Sequence[int],
+    ) -> None:
+        """Accumulate arriving cell contents into the listed cells.
+
+        ``counts[j]`` adds into cell ``indices[j]``'s count; ``key_sums[j]``
+        / ``check_sums[j]`` XOR into the matching fields.  This is the
+        intake primitive of the resumable decoder
+        (:class:`repro.iblt.decode.PeelState`): a late-arriving cell joins a
+        table that may already hold peel corrections for it, and add/XOR is
+        exactly "true cell content combined with those corrections".
+        Indices must be unique within one call — vectorized overrides may
+        apply the update with fancy indexing, where duplicates would drop
+        writes.  This scalar reference works for any backend exposing the
+        three cell columns as indexable attributes.
+        """
+        own_counts = self.counts
+        own_key_sums = self.key_sums
+        own_check_sums = self.check_sums
+        for index, count, key_sum, check_sum in zip(
+            indices, counts, key_sums, check_sums
+        ):
+            index = int(index)
+            own_counts[index] += int(count)
+            own_key_sums[index] ^= int(key_sum)
+            own_check_sums[index] ^= int(check_sum)
+
     # ----------------------------------------------------------- validation
 
     def _check_key(self, key: int) -> None:

@@ -256,3 +256,16 @@ class NumpyBackend(Backend):
         if keys.size == 0:
             return
         self._scatter(keys, -_np.asarray(signs, dtype=_np.int64))
+
+    def merge_cells(self, indices, counts, key_sums, check_sums) -> None:
+        """Vectorized late-cell intake (see the reference docstring).
+
+        Fancy indexing instead of ``.at`` scatters — the contract requires
+        unique indices per call, so buffered updates are safe and faster.
+        """
+        index_array = _np.asarray(indices, dtype=_np.intp)
+        if index_array.size == 0:
+            return
+        self.counts[index_array] += _np.asarray(counts, dtype=_np.int64)
+        self.key_sums[index_array] ^= _np.asarray(key_sums, dtype=_U64)
+        self.check_sums[index_array] ^= _np.asarray(check_sums, dtype=_U64)

@@ -34,22 +34,50 @@ suite (``tests/test_decode_batch.py``) enforces this across backends.  Only
 ``peel_order`` differs: the batch decoder's order is **round-major,
 index-ascending** (all round-1 extractions in cell-index order, then round
 2, …), while the scalar decoder's is stack-driven.  On a guard abort both
-report ``success=False``, but the partial key lists are strategy-specific.
+report ``success=False`` after at most ``max_items`` applied extractions
+(the cap is enforced *within* a round, not merely between rounds), but the
+partial key lists are strategy-specific.
+
+Resumable peeling
+-----------------
+
+:class:`PeelState` makes the peel loop a first-class, *resumable* object:
+cells may arrive over time — whole extra tables via :meth:`PeelState.extend`
+(the rateless protocol streams IBLT segments this way) or individual cells
+via :meth:`PeelState.feed_cells` — and each arrival continues peeling from
+where the previous one stalled instead of re-decoding from scratch.  The
+state spans a *sequence of segments* forming one concatenated cell space;
+the contract is that **every difference key occupies its ``q`` cells in
+every segment** (segments are same-keyspace sketches under independent
+seeds), so a key recovered from any one segment can be removed from all of
+them.  ``decode()`` is now a thin wrapper: one fully-known segment, peeled
+to exhaustion — bit-identical to the historical monolithic implementation.
+
+Cells that have been *declared* but not yet *fed* start zeroed; peel
+corrections for already-recovered keys accumulate in them, and
+:meth:`~repro.iblt.table.IBLT.merge_cells` later adds the true cell content
+on top (count adds, sums XOR commute), so a resumed peel sees exactly the
+cells a fresh decode of the full table would.  Unknown cells can *look*
+pure while holding only a correction, so every purity scan filters through
+the per-segment known mask; fully-known segments skip the filter and run
+the historical fast path.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 from repro.errors import ConfigError
-from repro.iblt.table import IBLT
+from repro.iblt.table import IBLT, IBLTConfig
 
 try:  # soft dependency: only the batch-round dedup has a numpy fast path
     import numpy as _np
 except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
     _np = None
 
-#: Peeling strategies accepted by :func:`decode`.
+#: Peeling strategies accepted by :func:`decode` and :class:`PeelState`.
 DECODE_STRATEGIES = ("batch", "scalar")
 
 
@@ -96,16 +124,17 @@ def decode(
         A subtracted IBLT.  (Peeling a single party's table also works and
         lists its contents.)
     max_items:
-        Guard: abort with ``success=False`` if more than this many keys get
-        extracted.  Protocols use it to reject levels that decode to an
-        implausibly large difference.  Defaults to ``2 × cells``: a
+        Guard: abort with ``success=False`` once peeling would extract more
+        than this many keys.  Protocols use it to reject levels that decode
+        to an implausibly large difference.  Defaults to ``2 × cells``: a
         legitimate full peel can never extract more than the peeling
         threshold (~0.82 × cells) keys, while a *false* peel — a weak
         checksum admitting a garbage key — can otherwise churn the table
         forever (every bogus extraction re-perturbs cells and can expose
         further bogus "pure" cells).  The cap turns that pathology into a
-        clean failure.  The scalar strategy checks it per extraction, the
-        batch strategy per round.
+        clean failure, and it is enforced per *extraction*: no run ever
+        applies more than ``max_items`` extractions, even mid-round under
+        the batch strategy.
     strategy:
         ``"batch"`` (default) or ``"scalar"`` — see the module docstring.
         Both recover the same key sets; only ``peel_order`` differs.
@@ -115,19 +144,383 @@ def decode(
     The copy-then-peel costs O(cells + difference); tables in this library
     are O(k)-sized so this is cheap compared to hashing the input sets.
     """
-    if strategy not in DECODE_STRATEGIES:
-        raise ConfigError(
-            f"decode strategy must be one of {DECODE_STRATEGIES}, got {strategy!r}"
-        )
     if max_items is None:
         max_items = 2 * table.config.cells
-    work = table.copy()
-    if strategy == "scalar":
-        return _peel_scalar(work, max_items)
-    return _peel_batch(work, max_items)
+    state = PeelState(strategy=strategy, max_items=max_items)
+    state.extend(table)
+    return state.result()
 
 
-# ------------------------------------------------------------- batch rounds
+class PeelState:
+    """Resumable peeling over a growing sequence of IBLT segments.
+
+    The state owns working copies of every segment handed to it, the keys
+    recovered so far (with signs and extraction order), and the guard
+    counters.  New cells join in two ways:
+
+    :meth:`extend`
+        Append a whole table as a fully-known segment and resume peeling.
+        The rateless sessions use this: each wire increment is one segment.
+
+    :meth:`declare` + :meth:`feed_cells`
+        Announce a segment's shape up front (all cells unknown), then merge
+        cell contents as they arrive — in any order, any grouping — peeling
+        after each batch.  Cell indices are *global* across the
+        concatenated declared space.
+
+    All segments must share key and checksum widths, and every difference
+    key must occupy its ``q`` cells in **every** segment (independent seeds
+    over one keyspace); recovered keys are removed from all segments, and
+    corrections for late segments are replayed at registration time.
+
+    ``max_items=None`` means a dynamic guard of ``2 × total declared
+    cells``, re-evaluated as segments arrive.  Once the guard trips the
+    state is poisoned (``failed``) — further cells merge but never peel.
+
+    With a single :meth:`extend`-ed segment the peel — including
+    ``peel_order`` — is bit-identical to the historical ``decode()``;
+    resumed runs recover identical key multisets but may order extractions
+    differently (the differential suite in ``tests/test_peel_state.py``
+    pins this).
+    """
+
+    def __init__(
+        self,
+        config: IBLTConfig | None = None,
+        *,
+        strategy: str = "batch",
+        max_items: int | None = None,
+        backend: str | None = None,
+    ):
+        if strategy not in DECODE_STRATEGIES:
+            raise ConfigError(
+                f"decode strategy must be one of {DECODE_STRATEGIES}, got {strategy!r}"
+            )
+        self._strategy = strategy
+        self._max_items = max_items
+        self._backend = backend
+        self._segments: list[IBLT] = []
+        #: Per segment: list of per-cell known flags, or ``None`` once every
+        #: cell is known (the fast path never allocates the mask).
+        self._known: list[list[bool] | None] = []
+        self._unknown: list[int] = []
+        self._starts: list[int] = []
+        self._total_cells = 0
+        self._alice: list[int] = []
+        self._bob: list[int] = []
+        self._order: list[tuple[int, int]] = []
+        self._failed = False
+        if config is not None:
+            self.declare(config)
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def strategy(self) -> str:
+        return self._strategy
+
+    @property
+    def total_cells(self) -> int:
+        """Cells across all declared/extended segments."""
+        return self._total_cells
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    @property
+    def failed(self) -> bool:
+        """True once the ``max_items`` guard tripped (state is poisoned)."""
+        return self._failed
+
+    @property
+    def fully_known(self) -> bool:
+        """True when every declared cell has been fed."""
+        return all(unknown == 0 for unknown in self._unknown)
+
+    @property
+    def solved(self) -> bool:
+        """True when peeling has provably recovered the whole difference:
+        every segment is fully known and peeled to empty."""
+        return (
+            not self._failed
+            and bool(self._segments)
+            and self.fully_known
+            and all(segment.is_empty() for segment in self._segments)
+        )
+
+    @property
+    def difference_size(self) -> int:
+        """Keys recovered so far, both sides combined."""
+        return len(self._order)
+
+    # ------------------------------------------------------------- growing
+
+    def declare(self, config: IBLTConfig) -> int:
+        """Register a segment whose cell contents will arrive later via
+        :meth:`feed_cells`; returns the segment's index."""
+        work = IBLT(config, backend=self._backend)
+        self._apply_corrections(work)
+        return self._register(work, known=False)
+
+    def extend(self, table: IBLT) -> int:
+        """Append ``table`` as a fully-known segment and resume peeling.
+
+        The table is copied (peeling is destructive), corrections for keys
+        already recovered from earlier segments are replayed into the copy,
+        and the peel continues until it stalls again.  Returns the new
+        segment's index.
+        """
+        work = table.copy()
+        self._apply_corrections(work)
+        index = self._register(work, known=True)
+        self._peel()
+        return index
+
+    def feed_cells(
+        self,
+        indices: Sequence[int],
+        cells: Iterable[tuple[int, int, int]],
+    ) -> None:
+        """Merge newly arrived cell contents and resume peeling.
+
+        ``indices`` are *global* positions in the concatenated declared
+        space; ``cells`` holds the matching ``(count, key_sum, check_sum)``
+        triples.  Each cell may be fed exactly once (arriving content is
+        *added* onto any peel corrections already accumulated in the zeroed
+        placeholder, so a duplicate would corrupt the cell).
+        """
+        triples = [tuple(cell) for cell in cells]
+        index_list = [int(index) for index in indices]
+        if len(index_list) != len(triples):
+            raise ConfigError(
+                "feed_cells needs one (count, key_sum, check_sum) triple "
+                f"per index, got {len(index_list)} indices for "
+                f"{len(triples)} cells"
+            )
+        per_segment: dict[int, tuple[list, list, list, list]] = {}
+        seen: set[int] = set()
+        for global_index, (count, key_sum, check_sum) in zip(index_list, triples):
+            if not 0 <= global_index < self._total_cells:
+                raise ConfigError(
+                    f"cell index {global_index} outside the declared space "
+                    f"of {self._total_cells} cells"
+                )
+            if global_index in seen:
+                raise ConfigError(
+                    f"duplicate cell index {global_index} in one feed"
+                )
+            seen.add(global_index)
+            segment = bisect_right(self._starts, global_index) - 1
+            local = global_index - self._starts[segment]
+            known = self._known[segment]
+            if known is None or known[local]:
+                raise ConfigError(
+                    f"cell index {global_index} was already fed"
+                )
+            bucket = per_segment.setdefault(segment, ([], [], [], []))
+            bucket[0].append(local)
+            bucket[1].append(int(count))
+            bucket[2].append(int(key_sum))
+            bucket[3].append(int(check_sum))
+        for segment, (locals_, counts, key_sums, check_sums) in per_segment.items():
+            self._segments[segment].merge_cells(
+                locals_, counts, key_sums, check_sums
+            )
+            known = self._known[segment]
+            for local in locals_:
+                known[local] = True
+            self._unknown[segment] -= len(locals_)
+            if self._unknown[segment] == 0:
+                self._known[segment] = None
+        self._peel()
+
+    # ------------------------------------------------------------- results
+
+    def result(self) -> DecodeResult:
+        """Snapshot the peel outcome as a :class:`DecodeResult`.
+
+        ``success`` mirrors :attr:`solved`; ``remaining_cells`` counts
+        non-empty cells across all segments (on a partially-fed state this
+        includes unknown cells holding only corrections — a diagnostic, not
+        a decode verdict).  May be called repeatedly; the state stays
+        usable for further feeding.
+        """
+        return DecodeResult(
+            success=self.solved,
+            alice_keys=list(self._alice),
+            bob_keys=list(self._bob),
+            remaining_cells=sum(
+                segment.nonzero_cells() for segment in self._segments
+            ),
+            peel_order=list(self._order),
+        )
+
+    # ------------------------------------------------------------ internals
+
+    def _limit(self) -> int:
+        if self._max_items is not None:
+            return self._max_items
+        return 2 * self._total_cells
+
+    def _register(self, work: IBLT, known: bool) -> int:
+        config = work.config
+        if self._segments:
+            first = self._segments[0].config
+            if (
+                config.key_bits != first.key_bits
+                or config.checksum_bits != first.checksum_bits
+            ):
+                raise ConfigError(
+                    "peel segments must share key and checksum widths, got "
+                    f"{config.key_bits}/{config.checksum_bits} bits after "
+                    f"{first.key_bits}/{first.checksum_bits}"
+                )
+        self._segments.append(work)
+        self._known.append(None if known else [False] * config.cells)
+        self._unknown.append(0 if known else config.cells)
+        self._starts.append(self._total_cells)
+        self._total_cells += config.cells
+        return len(self._segments) - 1
+
+    def _apply_corrections(self, work: IBLT) -> None:
+        """Remove already-recovered keys from a newly registered segment
+        (every difference key occupies cells in every segment)."""
+        if not self._order:
+            return
+        keys = [key for key, _ in self._order]
+        signs = [sign for _, sign in self._order]
+        work.scatter_update(keys, signs)
+
+    def _record(self, keys, signs) -> None:
+        # Backend-native arrays feed the scatter; the result lists hold
+        # Python ints (what every protocol layer downstream expects).
+        key_list = keys.tolist() if hasattr(keys, "tolist") else keys
+        sign_list = signs.tolist() if hasattr(signs, "tolist") else signs
+        for key, sign in zip(key_list, sign_list):
+            if sign > 0:
+                self._alice.append(key)
+            else:
+                self._bob.append(key)
+            self._order.append((key, sign))
+
+    def _peel(self) -> None:
+        if self._failed:
+            return
+        if self._strategy == "scalar":
+            self._peel_scalar()
+        else:
+            self._peel_batch()
+
+    # ------------------------------------------------------- batch rounds
+
+    def _pure_round(self):
+        """One round's worth of verified pure cells across all segments,
+        (segment, index)-ascending, unknown cells filtered out."""
+        gathered = []
+        for segment, known, unknown in zip(
+            self._segments, self._known, self._unknown
+        ):
+            indices, signs = segment.pure_mask()
+            if unknown:
+                indices, signs = _filter_known(indices, signs, known)
+            if len(indices) == 0:
+                continue
+            gathered.append((segment.gather_cells(indices), signs))
+        if not gathered:
+            return [], []
+        if len(gathered) == 1:
+            # Single-segment rounds keep the backend-native arrays — the
+            # plain-decode fast path stays bit- and kernel-identical.
+            return gathered[0]
+        keys: list[int] = []
+        signs_out: list[int] = []
+        for segment_keys, segment_signs in gathered:
+            keys.extend(
+                segment_keys.tolist()
+                if hasattr(segment_keys, "tolist")
+                else segment_keys
+            )
+            signs_out.extend(
+                segment_signs.tolist()
+                if hasattr(segment_signs, "tolist")
+                else segment_signs
+            )
+        return keys, signs_out
+
+    def _peel_batch(self) -> None:
+        """Round-based peel: find every pure cell, extract all keys, repeat."""
+        while True:
+            keys, signs = self._pure_round()
+            if len(keys) == 0:
+                return
+            keys, signs = _dedup_first_key(keys, signs)
+            allowed = self._limit() - len(self._order)
+            if len(keys) > allowed:
+                # Guard tripped mid-round: apply only the first ``allowed``
+                # extractions so no run ever exceeds ``max_items``, then
+                # poison the state.
+                keys = keys[:allowed]
+                signs = signs[:allowed]
+                self._failed = True
+            self._record(keys, signs)
+            if len(keys):
+                for segment in self._segments:
+                    segment.scatter_update(keys, signs)
+            if self._failed:
+                return
+
+    # ------------------------------------------------------- scalar stack
+
+    def _peel_scalar(self) -> None:
+        """The reference one-key-at-a-time peel (stack-driven order)."""
+        # Batch scan (vectorized on array backends); ascending order fixes
+        # the peel order identically across backends.
+        stack: list[tuple[int, int]] = []
+        for seg, segment in enumerate(self._segments):
+            pure = segment.pure_cells()
+            known = self._known[seg]
+            if self._unknown[seg]:
+                pure = [index for index in pure if known[index]]
+            stack.extend((seg, index) for index in pure)
+        seen_pure = set(stack)
+
+        while stack:
+            entry = stack.pop()
+            seen_pure.discard(entry)
+            seg, index = entry
+            segment = self._segments[seg]
+            sign = segment.cell_is_pure(index)
+            if sign == 0:
+                continue  # became impure/empty since queued
+            if len(self._order) >= self._limit():
+                # The next extraction would exceed the guard — abort
+                # without applying it.
+                self._failed = True
+                return
+            key = segment.cell(index)[1]
+            if sign > 0:
+                self._alice.append(key)
+            else:
+                self._bob.append(key)
+            self._order.append((key, sign))
+            for other_seg, other in enumerate(self._segments):
+                if sign > 0:
+                    other.delete(key)
+                else:
+                    other.insert(key)
+                other_known = self._known[other_seg]
+                other_unknown = self._unknown[other_seg]
+                for neighbour in other.hashes.indices(key):
+                    if other_unknown and not other_known[neighbour]:
+                        continue
+                    candidate = (other_seg, neighbour)
+                    if other.cell_is_pure(neighbour) and candidate not in seen_pure:
+                        stack.append(candidate)
+                        seen_pure.add(candidate)
+
+
+# ------------------------------------------------------------- batch helpers
 
 
 def _dedup_first_key(keys, signs):
@@ -156,69 +549,20 @@ def _dedup_first_key(keys, signs):
     return out_keys, out_signs
 
 
-def _peel_batch(work: IBLT, max_items: int) -> DecodeResult:
-    """Round-based peel: find every pure cell, extract all keys, repeat."""
-    result = DecodeResult(success=False)
-    while True:
-        indices, signs = work.pure_mask()
-        if len(indices) == 0:
-            break
-        keys = work.gather_cells(indices)
-        keys, signs = _dedup_first_key(keys, signs)
-        # Backend-native arrays feed the scatter; the result lists hold
-        # Python ints (what every protocol layer downstream expects).
-        key_list = keys.tolist() if hasattr(keys, "tolist") else keys
-        sign_list = signs.tolist() if hasattr(signs, "tolist") else signs
-        for key, sign in zip(key_list, sign_list):
-            if sign > 0:
-                result.alice_keys.append(key)
-            else:
-                result.bob_keys.append(key)
-            result.peel_order.append((key, sign))
-        work.scatter_update(keys, signs)
-        if result.difference_size > max_items:
-            result.remaining_cells = work.nonzero_cells()
-            return result
-    result.success = work.is_empty()
-    result.remaining_cells = work.nonzero_cells()
-    return result
+def _filter_known(indices, signs, known):
+    """Keep only pure-scan hits whose cells have actually been fed.
 
-
-# ------------------------------------------------------------- scalar stack
-
-
-def _peel_scalar(work: IBLT, max_items: int) -> DecodeResult:
-    """The reference one-key-at-a-time peel (stack-driven order)."""
-    result = DecodeResult(success=False)
-
-    # Batch scan (vectorized on array backends); ascending order fixes the
-    # peel order identically across backends.
-    stack = work.pure_cells()
-    seen_pure = set(stack)
-
-    while stack:
-        index = stack.pop()
-        seen_pure.discard(index)
-        sign = work.cell_is_pure(index)
-        if sign == 0:
-            continue  # became impure/empty since queued
-        key = work.cell(index)[1]
-        if sign > 0:
-            result.alice_keys.append(key)
-            work.delete(key)
-        else:
-            result.bob_keys.append(key)
-            work.insert(key)
-        result.peel_order.append((key, sign))
-        if result.difference_size > max_items:
-            result.success = False
-            result.remaining_cells = work.nonzero_cells()
-            return result
-        for neighbour in work.hashes.indices(key):
-            if work.cell_is_pure(neighbour) and neighbour not in seen_pure:
-                stack.append(neighbour)
-                seen_pure.add(neighbour)
-
-    result.success = work.is_empty()
-    result.remaining_cells = work.nonzero_cells()
-    return result
+    A declared-but-unfed cell holds nothing but peel corrections, which can
+    masquerade as a verified pure cell ``(−sign, key, check(key))`` —
+    extracting one would un-peel a recovered key.
+    """
+    if _np is not None and isinstance(indices, _np.ndarray):
+        keep = _np.asarray(known, dtype=bool)[indices]
+        return indices[keep], signs[keep]
+    kept_indices = []
+    kept_signs = []
+    for index, sign in zip(indices, signs):
+        if known[index]:
+            kept_indices.append(index)
+            kept_signs.append(sign)
+    return kept_indices, kept_signs

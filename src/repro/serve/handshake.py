@@ -1,8 +1,9 @@
 """Connection handshake: agree on variant, config digest, and version.
 
 Protocol parameters are public coins — both parties must construct the
-*same* :class:`~repro.core.config.ProtocolConfig` (and, for the adaptive
-variant, :class:`~repro.core.adaptive.AdaptiveConfig`) out of band.  The
+*same* :class:`~repro.core.config.ProtocolConfig` (and, per variant, the
+:class:`~repro.core.adaptive.AdaptiveConfig` /
+:class:`~repro.core.rateless.RatelessConfig` knobs) out of band.  The
 handshake does not transmit the config; it transmits a **digest** of the
 wire-relevant fields so a drifted peer is rejected before any sketch
 bytes flow, with an error message naming the mismatch.
@@ -21,6 +22,7 @@ import json
 
 from repro.core.adaptive import AdaptiveConfig
 from repro.core.config import ProtocolConfig
+from repro.core.rateless import RatelessConfig
 from repro.errors import SerializationError, SessionError
 
 MAGIC = "repro-serve"
@@ -43,11 +45,17 @@ _ADAPTIVE_FIELDS = (
     "include_fallback",
 )
 
+#: RatelessConfig fields that shape wire bytes (all of them: the segment
+#: schedule is a public coin — both sides must derive identical segment
+#: shapes and seeds from it).
+_RATELESS_FIELDS = ("level", "initial_cells", "growth", "max_increments")
+
 
 def config_digest(
     config: ProtocolConfig,
     variant: str = "one-round",
     adaptive: AdaptiveConfig | None = None,
+    rateless: RatelessConfig | None = None,
 ) -> str:
     """Stable 16-hex digest of every parameter that shapes this variant's
     wire bytes."""
@@ -60,6 +68,11 @@ def config_digest(
         adaptive = adaptive or AdaptiveConfig()
         record["adaptive"] = {
             name: getattr(adaptive, name) for name in _ADAPTIVE_FIELDS
+        }
+    if variant == "rateless":
+        rateless = rateless or RatelessConfig()
+        record["rateless"] = {
+            name: getattr(rateless, name) for name in _RATELESS_FIELDS
         }
     canonical = json.dumps(record, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()[:16]

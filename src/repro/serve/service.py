@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from repro.core.adaptive import AdaptiveConfig, AdaptiveReconciler
 from repro.core.config import ProtocolConfig
 from repro.core.protocol import HierarchicalReconciler
+from repro.core.rateless import RatelessConfig, RatelessReconciler
 from repro.errors import ReproError, SessionError
 from repro.net.channel import SimulatedChannel
 from repro.net.transcript import Transcript
@@ -117,6 +118,7 @@ class ReconciliationServer:
         points,
         *,
         adaptive: AdaptiveConfig | None = None,
+        rateless: RatelessConfig | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
         max_sessions: int = 64,
@@ -125,6 +127,7 @@ class ReconciliationServer:
     ):
         self.config = config
         self.adaptive = adaptive or AdaptiveConfig()
+        self.rateless = rateless or RatelessConfig()
         self.points = points
         self.host = host
         self.port = port
@@ -209,7 +212,9 @@ class ReconciliationServer:
 
     def digest(self, variant: str) -> str:
         """The config digest this server expects for ``variant``."""
-        return handshake.config_digest(self.config, variant, self.adaptive)
+        return handshake.config_digest(
+            self.config, variant, self.adaptive, self.rateless
+        )
 
     def _session_for(self, variant: str) -> Session:
         """Build this connection's Alice session.
@@ -223,7 +228,8 @@ class ReconciliationServer:
         additionally reuses Alice's per-level estimators and window
         tables across connections (``reuse_alice_state``) — the server's
         point multiset is fixed for its lifetime, which is exactly the
-        contract that flag requires.
+        contract that flag requires.  The rateless reconciler likewise
+        caches each encoded increment the first time any client needs it.
         """
         factories = {
             "one-round": lambda: HierarchicalReconciler(self.config),
@@ -231,6 +237,9 @@ class ReconciliationServer:
                 self.config, self.adaptive, reuse_alice_state=True
             ),
             "sharded": lambda: ShardedReconciler(self.config),
+            "rateless": lambda: RatelessReconciler(
+                self.config, self.rateless, reuse_alice_state=True
+            ),
         }
         if variant not in self._reconcilers:
             self._reconcilers[variant] = factories[variant]()
@@ -360,6 +369,7 @@ async def sync(
     *,
     variant: str = "one-round",
     adaptive: AdaptiveConfig | None = None,
+    rateless: RatelessConfig | None = None,
     strategy: str = "occurrence",
     channel: SimulatedChannel | None = None,
     timeout: float | None = DEFAULT_TIMEOUT,
@@ -386,7 +396,8 @@ async def sync(
     recorder = channel if channel is not None else SimulatedChannel()
     first_message = len(recorder.messages)
     adaptive = adaptive or AdaptiveConfig()
-    digest = handshake.config_digest(config, variant, adaptive)
+    rateless = rateless or RatelessConfig()
+    digest = handshake.config_digest(config, variant, adaptive, rateless)
     try:
         if timeout is None:
             reader, writer = await asyncio.open_connection(host, port)
@@ -409,6 +420,8 @@ async def sync(
         kwargs = {"strategy": strategy}
         if variant == "adaptive":
             kwargs["adaptive"] = adaptive
+        if variant == "rateless":
+            kwargs["rateless"] = rateless
         if reconciler is not None:
             kwargs["reconciler"] = reconciler
         session = make_session(variant, "bob", config, points, **kwargs)

@@ -1,6 +1,7 @@
 """Sans-I/O protocol session machines (the transport-independent layer).
 
-Every protocol variant — one-round, adaptive, sharded — is expressed as a
+Every protocol variant — one-round, adaptive, sharded, rateless — is
+expressed as a
 pair of :class:`~repro.session.base.Session` state machines that consume
 and produce exact payload bytes with no transport attached.  The public
 ``reconcile*`` functions pump these sessions over the in-process
@@ -13,17 +14,18 @@ from repro.session.adaptive import AdaptiveAliceSession, AdaptiveBobSession
 from repro.session.base import Done, OutboundMessage, Session
 from repro.session.driver import pump, run_async
 from repro.session.one_round import OneRoundAliceSession, OneRoundBobSession
+from repro.session.rateless import RatelessAliceSession, RatelessBobSession
 from repro.session.sharded import ShardedSession
 
 #: Variant names accepted by the session factories and the serve handshake.
-VARIANTS = ("one-round", "adaptive", "sharded")
+VARIANTS = ("one-round", "adaptive", "sharded", "rateless")
 
 
 def make_session(variant: str, role: str, config, points, **kwargs) -> Session:
     """Build the session for one endpoint of one variant.
 
     ``kwargs`` are forwarded to the variant's constructor (``strategy``,
-    ``adaptive``, ``reconciler``).  Unknown variants raise
+    ``adaptive``, ``rateless``, ``reconciler``).  Unknown variants raise
     :class:`~repro.errors.SessionError` so a bad handshake fails typed.
     """
     from repro.errors import SessionError
@@ -40,6 +42,11 @@ def make_session(variant: str, role: str, config, points, **kwargs) -> Session:
         return cls(config, points, **kwargs)
     if variant == "sharded":
         return ShardedSession(config, points, role=role, **kwargs)
+    if variant == "rateless":
+        cls = RatelessAliceSession if role == "alice" else RatelessBobSession
+        if role == "alice":
+            kwargs.pop("strategy", None)
+        return cls(config, points, **kwargs)
     raise SessionError(
         f"unknown protocol variant {variant!r}; expected one of {VARIANTS}"
     )
@@ -52,6 +59,8 @@ __all__ = [
     "OneRoundAliceSession",
     "OneRoundBobSession",
     "OutboundMessage",
+    "RatelessAliceSession",
+    "RatelessBobSession",
     "Session",
     "ShardedSession",
     "VARIANTS",

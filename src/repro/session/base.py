@@ -138,15 +138,28 @@ class Session(abc.ABC):
                 f"{type(self).__name__} is complete; unexpected extra "
                 f"message ({len(payload)} bytes) — duplicated or stray frame?"
             )
-        if not isinstance(payload, (bytes, bytearray)):
+        if not isinstance(payload, (bytes, bytearray, memoryview)):
+            # memoryview included: zero-copy framing hands transports
+            # buffer slices; bytes(payload) below copies them out before
+            # the underlying buffer can be recycled.
             raise SessionError(
                 f"session payloads must be bytes, got {type(payload).__name__}"
             )
+        output = self._feed(bytes(payload))
+        # Count the message only after _feed succeeds: inbound_label()
+        # must keep labelling the in-flight message while it is being
+        # processed (and a failed feed leaves the position unchanged).
         self._fed += 1
-        return self._absorb(self._feed(bytes(payload)))
+        return self._absorb(output)
 
     def inbound_label(self, index: int | None = None) -> str:
-        """Transcript label for the ``index``-th received message."""
+        """Transcript label for the ``index``-th received message.
+
+        With no ``index``, labels the message currently being fed — or,
+        between messages, the next one this endpoint expects.  Transports
+        may therefore call it either immediately before or during
+        ``feed()`` and record the same label.
+        """
         index = self._fed if index is None else index
         if index < len(self.inbound_labels):
             return self.inbound_labels[index]

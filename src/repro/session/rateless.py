@@ -1,0 +1,137 @@
+"""Sans-I/O sessions for the rateless streaming protocol.
+
+A strict ping-pong: Alice opens with increment 0 and sends increment
+``j+1`` for every CONTINUE ack; Bob feeds each increment into a resumable
+:class:`~repro.iblt.decode.PeelState` and answers STOP the moment the
+union of received segments peels to empty (or CONTINUE otherwise).  Both
+sides enforce the shared ``max_increments`` cap with a typed
+:class:`~repro.errors.ReconciliationFailure`, so an over-large difference
+terminates loudly instead of streaming forever.  All protocol logic stays
+in :class:`~repro.core.rateless.RatelessReconciler`; these classes only
+adapt it to the :class:`~repro.session.base.Session` contract.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ProtocolConfig
+from repro.core.rateless import (
+    RatelessConfig,
+    RatelessReconciler,
+    ack_bytes,
+    parse_ack,
+)
+from repro.errors import ReconciliationFailure
+from repro.iblt.decode import PeelState
+from repro.session.base import Done, OutboundMessage, Session, SessionOutput
+
+#: Transcript labels — every Alice message is a cell increment, every Bob
+#: message an ack, so both repeat for the life of the session.
+CELLS_LABEL = "rateless-cells"
+ACK_LABEL = "rateless-ack"
+
+
+class RatelessAliceSession(Session):
+    """Alice's side: stream increments until Bob says STOP."""
+
+    variant = "rateless"
+    role = "alice"
+
+    def __init__(
+        self,
+        config: ProtocolConfig,
+        points,
+        rateless: RatelessConfig | None = None,
+        reconciler: RatelessReconciler | None = None,
+    ):
+        super().__init__()
+        self.config = config
+        self._points = points
+        self._reconciler = reconciler or RatelessReconciler(config, rateless)
+        self._sent = 0
+
+    def inbound_label(self, index: int | None = None) -> str:
+        return ACK_LABEL
+
+    def _start(self) -> SessionOutput:
+        payload = self._reconciler.alice_increment(self._points, 0)
+        self._sent = 1
+        return [OutboundMessage(payload, CELLS_LABEL)]
+
+    def _feed(self, payload: bytes) -> SessionOutput:
+        if parse_ack(payload):
+            return Done()
+        cap = self._reconciler.rateless.max_increments
+        if self._sent >= cap:
+            raise ReconciliationFailure(
+                f"peer still undecoded after the shared cap of {cap} "
+                "rateless increments"
+            )
+        out = self._reconciler.alice_increment(self._points, self._sent)
+        self._sent += 1
+        return [OutboundMessage(out, CELLS_LABEL)]
+
+
+class RatelessBobSession(Session):
+    """Bob's side: peel incrementally, stop the instant decode succeeds."""
+
+    variant = "rateless"
+    role = "bob"
+
+    def __init__(
+        self,
+        config: ProtocolConfig,
+        points,
+        rateless: RatelessConfig | None = None,
+        strategy: str = "occurrence",
+        reconciler: RatelessReconciler | None = None,
+    ):
+        super().__init__()
+        self.config = config
+        self._points = points
+        self._strategy = strategy
+        self._reconciler = reconciler or RatelessReconciler(config, rateless)
+        self._state = PeelState(strategy=config.decode_strategy)
+        self._keys = None
+        self._received = 0
+
+    def inbound_label(self, index: int | None = None) -> str:
+        return CELLS_LABEL
+
+    def _feed(self, payload: bytes) -> SessionOutput:
+        n_alice, alice_segment = self._reconciler.read_increment(
+            payload, self._received
+        )
+        if self._keys is None:
+            self._keys = self._reconciler.keys_for(self._points)
+        bob_segment = self._reconciler.segment_table(self._keys, self._received)
+        self._received += 1
+        self._state.extend(alice_segment.subtract(bob_segment))
+        if self._state.failed:
+            raise ReconciliationFailure(
+                "rateless peel aborted: the stream decoded to an implausibly "
+                "large difference (false-peel churn)"
+            )
+        if self._state.solved:
+            peeled = self._state.result()
+            balance = len(peeled.alice_keys) - len(peeled.bob_keys)
+            if balance != n_alice - len(self._points):
+                raise ReconciliationFailure(
+                    "rateless decode is unbalanced: recovered "
+                    f"{balance:+d} keys but the set sizes differ by "
+                    f"{n_alice - len(self._points):+d}"
+                )
+            result = self._reconciler.bob_repair(
+                self._points, peeled.alice_keys, peeled.bob_keys, self._strategy
+            )
+            return Done(
+                messages=(OutboundMessage(ack_bytes(stop=True), ACK_LABEL),),
+                result=result,
+            )
+        cap = self._reconciler.rateless.max_increments
+        if self._received >= cap:
+            raise ReconciliationFailure(
+                f"rateless decode still incomplete after the cap of {cap} "
+                "increments; the difference exceeds the configured stream "
+                "budget (raise max_increments or initial_cells)"
+            )
+        return [OutboundMessage(ack_bytes(stop=False), ACK_LABEL)]

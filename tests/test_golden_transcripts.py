@@ -26,7 +26,9 @@ from repro.core.adaptive import AdaptiveReconciler
 from repro.core.config import ProtocolConfig
 from repro.core.incremental import IncrementalSketch
 from repro.core.protocol import HierarchicalReconciler
+from repro.core.rateless import reconcile_rateless
 from repro.iblt.backends import available_backends
+from repro.net.channel import SimulatedChannel
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 BACKENDS = available_backends()
@@ -59,6 +61,9 @@ def _scenarios():
     dup_bob = [(5, 5)] * 3 + [(100, 200)] + [(901, 10)]
     big_alice, big_bob = _perturbed_points(9, 250, 4096, 2, moved=6, drop=3)
     inc_alice, inc_bob = _perturbed_points(4, 40, 512, 1, moved=3, drop=1)
+    # Sized so the default rateless schedule needs >= 2 increments: the
+    # symmetric difference at level 0 exceeds segment 0's peel capacity.
+    rl_alice, rl_bob = _perturbed_points(2, 120, 2048, 2, moved=18, drop=4)
     return [
         ("one_round_d1_tiny", "one-round",
          dict(delta=256, dimension=1, k=2, seed=7), small_alice, small_bob),
@@ -72,6 +77,8 @@ def _scenarios():
          dict(delta=4096, dimension=2, k=12, seed=3), big_alice, big_bob),
         ("incremental_encode", "incremental",
          dict(delta=512, dimension=1, k=6, seed=21), inc_alice, inc_bob),
+        ("rateless_streaming", "rateless",
+         dict(delta=2048, dimension=2, k=10, seed=17), rl_alice, rl_bob),
     ]
 
 
@@ -83,6 +90,14 @@ def _run(protocol, config, alice, bob):
         response = reconciler.alice_respond(request, alice)
         result = reconciler.bob_finish(response, bob)
         messages = {"request": request.hex(), "response": response.hex()}
+    elif protocol == "rateless":
+        channel = SimulatedChannel()
+        result = reconcile_rateless(alice, bob, config, channel=channel)
+        messages = {
+            f"{index:02d}_{message.label}": message.payload.hex()
+            for index, message in enumerate(channel.messages)
+        }
+        channel.close()
     else:
         reconciler = HierarchicalReconciler(config)
         if protocol == "incremental":
@@ -162,7 +177,7 @@ def test_fixture_count_covers_protocols():
     assert fixtures, _MISSING
     assert 4 <= len(fixtures) <= 8
     assert {fixture["protocol"] for fixture in fixtures} == {
-        "one-round", "adaptive", "incremental"
+        "one-round", "adaptive", "incremental", "rateless"
     }
 
 

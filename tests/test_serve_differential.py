@@ -14,6 +14,7 @@ import pytest
 from repro.core.adaptive import reconcile_adaptive
 from repro.core.config import ProtocolConfig
 from repro.core.protocol import reconcile
+from repro.core.rateless import reconcile_rateless
 from repro.net.channel import LoopbackChannel, SimulatedChannel
 from repro.scale.engine import reconcile_sharded
 from repro.serve import ReconciliationServer, sync
@@ -27,6 +28,7 @@ VARIANTS = [
     ("one-round", {}, reconcile),
     ("adaptive", {}, reconcile_adaptive),
     ("sharded", {"shards": 2}, reconcile_sharded),
+    ("rateless", {}, reconcile_rateless),
 ]
 
 
@@ -124,10 +126,10 @@ class TestServerReuse:
                 expected[variant].repaired
             ), variant
         summary = server.summary()
-        assert summary["sessions"] == 3
-        assert summary["ok"] == 3
+        assert summary["sessions"] == 4
+        assert summary["ok"] == 4
         assert {s.variant for s in server.stats} == {
-            "one-round", "adaptive", "sharded",
+            "one-round", "adaptive", "sharded", "rateless",
         }
         for stats in server.stats:
             assert stats.transcript is not None

@@ -15,7 +15,8 @@ import pytest
 from repro.core.adaptive import reconcile_adaptive
 from repro.core.config import ProtocolConfig
 from repro.core.protocol import reconcile
-from repro.errors import ChannelError, SessionError
+from repro.core.rateless import RatelessConfig, reconcile_rateless
+from repro.errors import ChannelError, ReconciliationFailure, SessionError
 from repro.net.channel import Direction, LoopbackChannel, SimulatedChannel
 from repro.scale.engine import reconcile_sharded
 from repro.session import (
@@ -24,6 +25,9 @@ from repro.session import (
     Done,
     OneRoundAliceSession,
     OneRoundBobSession,
+    RatelessAliceSession,
+    RatelessBobSession,
+    Session,
     ShardedSession,
     make_session,
     pump,
@@ -117,6 +121,20 @@ class TestStateMachine:
         with pytest.raises(SessionError):
             session.feed("not bytes")
 
+    def test_memoryview_payload_accepted(self):
+        """Zero-copy transports hand sessions buffer slices; feed must
+        copy them out rather than reject them (regression)."""
+        workload = _workload()
+        config = _config()
+        sketch = OneRoundAliceSession(config, workload.alice).start()
+        payload = sketch.messages[0].payload
+        for view in (memoryview(payload), bytearray(payload)):
+            bob = OneRoundBobSession(config, workload.bob)
+            bob.start()
+            out = bob.feed(view)
+            assert isinstance(out, Done)
+            assert len(bob.result.repaired) == len(workload.alice)
+
     def test_sharded_role_validated(self):
         with pytest.raises(SessionError):
             ShardedSession(_config(shards=2), [(1, 1)], role="carol")
@@ -127,11 +145,141 @@ class TestStateMachine:
 
     def test_make_session_builds_every_variant(self):
         config = _config(shards=2)
-        for variant in ("one-round", "adaptive", "sharded"):
+        for variant in ("one-round", "adaptive", "sharded", "rateless"):
             for role in ("alice", "bob"):
                 with make_session(variant, role, config, [(1, 1)]) as session:
                     assert session.variant == variant
                     assert session.role == role
+
+
+class _LabelProbe(Session):
+    """Pin for inbound_label ordering: sessions routinely read their own
+    position mid-feed (e.g. to parse the payload by expected type)."""
+
+    variant = "probe"
+    role = "bob"
+    inbound_labels = ("first", "second", "third")
+
+    def __init__(self):
+        super().__init__()
+        self.seen_during_feed = []
+
+    def _feed(self, payload):
+        self.seen_during_feed.append(self.inbound_label())
+        if payload == b"boom":
+            raise SessionError("probe exploded")
+        return []
+
+
+class TestInboundLabelOrdering:
+    def test_label_names_the_in_flight_message(self):
+        """Regression: ``_fed`` must advance *after* ``_feed`` so a
+        mid-feed ``inbound_label()`` names the message being processed,
+        never the next one (the old ordering was off by one)."""
+        probe = _LabelProbe()
+        probe.start()
+        assert probe.inbound_label() == "first"     # next expected
+        probe.feed(b"a")
+        assert probe.seen_during_feed == ["first"]  # was "second" before fix
+        assert probe.inbound_label() == "second"
+        probe.feed(b"b")
+        assert probe.seen_during_feed == ["first", "second"]
+
+    def test_failed_feed_leaves_the_position_unchanged(self):
+        probe = _LabelProbe()
+        probe.start()
+        probe.feed(b"a")
+        with pytest.raises(SessionError, match="probe exploded"):
+            probe.feed(b"boom")
+        # The failed message was never consumed: the label still names it.
+        assert probe.inbound_label() == "second"
+        probe.feed(b"retry")
+        assert probe.seen_during_feed == ["first", "second", "second"]
+
+    def test_explicit_index_unaffected(self):
+        probe = _LabelProbe()
+        probe.start()
+        assert probe.inbound_label(2) == "third"
+        assert probe.inbound_label(9) == "message"
+
+
+class TestRatelessStateMachine:
+    def test_ping_pong_small_diff_stops_on_first_increment(self):
+        workload = _workload(seed=11, n=40, true_k=2, noise=0)
+        config = _config(seed=11)
+        alice = RatelessAliceSession(config, workload.alice)
+        bob = RatelessBobSession(config, workload.bob)
+        opening = alice.start()
+        assert [m.label for m in opening] == ["rateless-cells"]
+        assert not alice.done
+        assert bob.start() == []
+        verdict = bob.feed(opening[0].payload)
+        assert isinstance(verdict, Done)
+        assert [m.label for m in verdict.messages] == ["rateless-ack"]
+        assert sorted(bob.result.repaired) == sorted(workload.alice)
+        closing = alice.feed(verdict.messages[0].payload)
+        assert isinstance(closing, Done)
+        assert closing.messages == ()
+        assert alice.result is None
+
+    def test_continue_ack_yields_the_next_increment(self):
+        # Enough difference that segment 0 (initial_cells=8) cannot decode.
+        workload = _workload(seed=12, n=60, true_k=8, noise=0)
+        config = _config(seed=12)
+        knobs = RatelessConfig(initial_cells=8, max_increments=8)
+        alice = RatelessAliceSession(config, workload.alice, knobs)
+        bob = RatelessBobSession(config, workload.bob, knobs)
+        message = alice.start()[0]
+        bob.start()
+        increments = 1
+        while True:
+            out = bob.feed(message.payload)
+            if isinstance(out, Done):
+                break
+            assert [m.label for m in out] == ["rateless-ack"]
+            next_out = alice.feed(out[0].payload)
+            assert [m.label for m in next_out] == ["rateless-cells"]
+            message = next_out[0]
+            increments += 1
+        assert increments > 1
+        assert sorted(bob.result.repaired) == sorted(workload.alice)
+
+    def test_cap_raises_typed_failure_on_both_ends(self):
+        workload = _workload(seed=13, n=80, true_k=12, noise=2)
+        config = _config(seed=13)
+        knobs = RatelessConfig(initial_cells=4, growth=1.1, max_increments=2)
+        alice = RatelessAliceSession(config, workload.alice, knobs)
+        bob = RatelessBobSession(config, workload.bob, knobs)
+        message = alice.start()[0]
+        bob.start()
+        acks = []
+        with pytest.raises(ReconciliationFailure, match="stream budget"):
+            while True:
+                out = bob.feed(message.payload)
+                assert not isinstance(out, Done)
+                acks.append(out[0])
+                message = alice.feed(out[0].payload)[0]
+        # Alice independently enforces the same shared cap.
+        with pytest.raises(ReconciliationFailure, match="cap"):
+            alice.feed(acks[-1].payload)
+
+    def test_rateless_pump_matches_reconcile_rateless(self):
+        workload = _workload(seed=14, n=50, true_k=4, noise=0)
+        config = _config(seed=14)
+        direct = reconcile_rateless(workload.alice, workload.bob, config)
+        channel = SimulatedChannel()
+        _, result = pump(
+            RatelessAliceSession(config, workload.alice),
+            RatelessBobSession(config, workload.bob),
+            channel,
+        )
+        assert sorted(result.repaired) == sorted(direct.repaired)
+        assert sorted(result.repaired) == sorted(workload.alice)
+        assert channel.total_bits == direct.transcript.total_bits
+        labels = [m.label for m in channel.messages]
+        assert labels[0] == "rateless-cells"
+        assert labels[-1] == "rateless-ack"
+        assert set(labels) == {"rateless-cells", "rateless-ack"}
 
 
 class TestPumpParity:
@@ -231,6 +379,7 @@ class TestChannelOwnership:
         (reconcile, {}),
         (reconcile_adaptive, {}),
         (reconcile_sharded, {}),
+        (reconcile_rateless, {}),
     ])
     def test_caller_channel_stays_open_and_reusable(self, runner, kwargs):
         workload = _workload(seed=7)
