@@ -67,6 +67,7 @@ from repro.core.protocol import HierarchicalReconciler, ReconcileResult, reconci
 from repro.core.rateless import RatelessConfig, RatelessReconciler, reconcile_rateless
 from repro.emd import emd, emd_1d, emd_k
 from repro.errors import (
+    BackendUnavailableError,
     CapacityExceeded,
     ChannelError,
     ConfigError,
@@ -91,6 +92,7 @@ __version__ = "1.1.0"
 __all__ = [
     "AdaptiveConfig",
     "AdaptiveReconciler",
+    "BackendUnavailableError",
     "BroadcastReport",
     "CapacityExceeded",
     "IncrementalSketch",

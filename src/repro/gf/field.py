@@ -86,7 +86,7 @@ class PrimeField:
     def inv(self, a: int) -> int:
         """Multiplicative inverse of a nonzero element (Fermat)."""
         if a % self.p == 0:
-            raise ZeroDivisionError("inverse of zero in GF(p)")
+            raise ZeroDivisionError("inverse of zero in GF(p)")  # repro-lint: waive[RPL003] reason=mirrors Python's own division-by-zero semantics for field arithmetic
         return pow(a, self.p - 2, self.p)
 
     def div(self, a: int, b: int) -> int:

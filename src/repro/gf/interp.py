@@ -39,7 +39,7 @@ class RationalFunction:
         """Evaluate at a point where the denominator does not vanish."""
         denominator_value = self.denominator(point)
         if denominator_value == 0:
-            raise ZeroDivisionError(f"denominator vanishes at {point}")
+            raise ZeroDivisionError(f"denominator vanishes at {point}")  # repro-lint: waive[RPL003] reason=mirrors Python's own division-by-zero semantics for field arithmetic
         field = self.numerator.field
         return field.div(self.numerator(point), denominator_value)
 

@@ -175,7 +175,7 @@ class Poly:
         """Euclidean division: return (quotient, remainder)."""
         self._require_same_field(divisor)
         if divisor.is_zero:
-            raise ZeroDivisionError("polynomial division by zero")
+            raise ZeroDivisionError("polynomial division by zero")  # repro-lint: waive[RPL003] reason=mirrors Python's own division-by-zero semantics for field arithmetic
         field = self.field
         if self.degree < divisor.degree:
             return Poly.zero(field), self

@@ -66,6 +66,16 @@ def backend_names() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def registered_backends() -> dict[str, type[Backend]]:
+    """Name -> class for every registered backend, available or not.
+
+    Unlike :func:`get_backend` this never raises for backends whose
+    dependencies are missing — static analysis (``repro.lint``'s RPL006
+    contract check) inspects classes it may not be able to instantiate.
+    """
+    return dict(_REGISTRY)
+
+
 def available_backends() -> list[str]:
     """Registered backends whose dependencies are importable, sorted."""
     return [name for name in sorted(_REGISTRY) if _REGISTRY[name].available()]

@@ -16,8 +16,9 @@ those of :class:`~repro.iblt.backends.pure.PureBackend`;
 from __future__ import annotations
 
 import abc
-from typing import ClassVar, Iterator, Sequence
+from typing import Any, ClassVar, Iterator, Sequence
 
+from repro.errors import ConfigError
 from repro.iblt.hashing import splitmix64
 
 
@@ -34,6 +35,13 @@ class Backend(abc.ABC):
 
     #: Registry key; subclasses must override (e.g. ``"pure"``, ``"numpy"``).
     name: ClassVar[str]
+
+    #: The three cell columns.  Storage is subclass-owned (lists on the pure
+    #: backend, ndarrays on the vectorized one); the scalar reference
+    #: primitives below only require index / in-place-mutate access.
+    counts: Any
+    key_sums: Any
+    check_sums: Any
 
     def __init__(self, config):
         self.config = config
@@ -223,11 +231,16 @@ class Backend(abc.ABC):
     # ----------------------------------------------------------- validation
 
     def _check_key(self, key: int) -> None:
-        """Reject negative or over-wide keys with the reference messages."""
+        """Reject negative or over-wide keys with the reference messages.
+
+        Raises :class:`~repro.errors.ConfigError`, which subclasses
+        ``ValueError`` so pre-existing callers catching ``ValueError``
+        keep working.
+        """
         if key < 0:
-            raise ValueError(f"keys must be non-negative, got {key}")
+            raise ConfigError(f"keys must be non-negative, got {key}")
         if key.bit_length() > self.config.key_bits:
-            raise ValueError(
+            raise ConfigError(
                 f"key {key} exceeds configured key width "
                 f"({key.bit_length()} > {self.config.key_bits} bits)"
             )

@@ -94,7 +94,7 @@ class NumpyBackend(Backend):
         """
         if isinstance(keys, _np.ndarray):
             if keys.dtype.kind not in "ui":
-                raise ValueError(
+                raise ConfigError(
                     f"keys must be an integer array, got dtype {keys.dtype}"
                 )
             if keys.dtype.kind == "i" and keys.size and keys.min() < 0:

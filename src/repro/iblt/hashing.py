@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import random
 
+from repro.errors import BackendUnavailableError, ConfigError
+
 try:  # soft dependency: only the bulk (array) paths use numpy
     import numpy as _np
 except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
@@ -38,7 +40,7 @@ def splitmix64(value: int) -> int:
     so arbitrarily wide packed keys can be hashed directly.
     """
     if value < 0:
-        raise ValueError(f"splitmix64 input must be non-negative, got {value}")
+        raise ConfigError(f"splitmix64 input must be non-negative, got {value}")
     while value > MASK64:
         value = (value & MASK64) ^ (value >> 64)
     z = (value + _GOLDEN) & MASK64
@@ -61,7 +63,7 @@ def checksum64(key: int, salt: int, width_bits: int = 32) -> int:
     ``items / 2^32``.
     """
     if not 1 <= width_bits <= 64:
-        raise ValueError(f"checksum width must be in [1, 64], got {width_bits}")
+        raise ConfigError(f"checksum width must be in [1, 64], got {width_bits}")
     return hash_with_salt(key, salt ^ 0xC0FFEE) & ((1 << width_bits) - 1)
 
 
@@ -85,11 +87,11 @@ class HashFamily:
 
     def __init__(self, q: int, cells: int, seed: int):
         if q < 2:
-            raise ValueError(f"need at least 2 hash functions, got {q}")
+            raise ConfigError(f"need at least 2 hash functions, got {q}")
         if cells % q != 0:
-            raise ValueError(f"cells ({cells}) must be divisible by q ({q})")
+            raise ConfigError(f"cells ({cells}) must be divisible by q ({q})")
         if cells <= 0:
-            raise ValueError(f"cells must be positive, got {cells}")
+            raise ConfigError(f"cells must be positive, got {cells}")
         self.q = q
         self.cells = cells
         self.seed = seed
@@ -153,7 +155,7 @@ class TabulationHash:
     def __call__(self, value: int) -> int:
         """Hash a non-negative integer (wider inputs are folded to 64 bits)."""
         if value < 0:
-            raise ValueError(f"input must be non-negative, got {value}")
+            raise ConfigError(f"input must be non-negative, got {value}")
         while value > MASK64:
             value = (value & MASK64) ^ (value >> 64)
         result = 0
@@ -169,7 +171,7 @@ class TabulationHash:
         lazily on first use.  Callers gate on numpy availability.
         """
         if _np is None:  # pragma: no cover - callers gate on numpy
-            raise RuntimeError("TabulationHash.hash_many requires numpy")
+            raise BackendUnavailableError("TabulationHash.hash_many requires numpy")
         tables = getattr(self, "_np_tables", None)
         if tables is None:
             tables = _np.array(self._tables, dtype=_np.uint64)
@@ -203,7 +205,7 @@ def trailing_zeros_many(values: "_np.ndarray", limit: int) -> "_np.ndarray":
     exactly like the scalar reference.  Callers gate on numpy availability.
     """
     if _np is None:  # pragma: no cover - callers gate on numpy
-        raise RuntimeError("trailing_zeros_many requires numpy")
+        raise BackendUnavailableError("trailing_zeros_many requires numpy")
     values = _np.asarray(values, dtype=_np.uint64)
     lowest = values & (~values + _np.uint64(1))
     lowest[values == 0] = 1  # placeholder; overwritten by the zero mask below

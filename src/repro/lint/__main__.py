@@ -1,0 +1,88 @@
+"""``python -m repro.lint`` — the repro-lint command-line runner."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.lint.engine import run_lint
+from repro.lint.rules import ALL_RULES
+
+
+def _default_root() -> str:
+    """The installed package itself (``.../src/repro``)."""
+    return str(Path(__file__).resolve().parents[1])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based invariant checker for the repro codebase: sans-I/O "
+            "purity, numpy-optional imports, typed errors, determinism, "
+            "wire-magic uniqueness, backend contracts, executor safety."
+        ),
+    )
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default=None,
+        help="package tree to lint (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run (e.g. RPL001,RPL003)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="also write the JSON report to FILE (whatever --format says)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.CODE}  {rule.NAME:24s} {rule.DESCRIPTION}")
+        print("RPL900  waiver-discipline        malformed waiver (missing reason / bad syntax / unknown code)")
+        print("RPL901  waiver-discipline        stale waiver (waives a line with no finding)")
+        print("RPL902  parse-error              file does not parse")
+        return 0
+    select = None
+    if args.select:
+        select = {code.strip() for code in args.select.split(",") if code.strip()}
+    root = args.root if args.root is not None else _default_root()
+    try:
+        report = run_lint(root, select=select)
+    except ReproError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        Path(args.output).write_text(report.render_json() + "\n", encoding="utf-8")
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return report.exit_code()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""The lint engine: load a tree, run the rules, apply waivers, report.
+
+:func:`run_lint` is the single entry point used by the CLI, the CI job,
+and the self-tests; fixture tests point it at synthetic package trees and
+(for the live-class rule) inject a registry.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.lint.findings import Finding, LintReport
+from repro.lint.project import Project
+from repro.lint.rules import ALL_RULES, RULES_BY_CODE
+from repro.lint.waivers import apply_waivers, collect_waivers
+
+
+def resolve_root(path: str | Path) -> Path:
+    """Normalise a CLI path to the package root to lint.
+
+    Accepts the package directory itself (``src/repro``) or a directory
+    one level above it that contains a single ``repro`` package
+    (``src``) — the common way people point tools at source trees.
+    """
+    root = Path(path)
+    if not root.is_dir():
+        raise ConfigError(f"lint root {str(root)!r} is not a directory")
+    if not (root / "__init__.py").exists():
+        nested = root / "repro"
+        if (nested / "__init__.py").exists():
+            return nested
+    return root
+
+
+def run_lint(
+    root: str | Path,
+    select: set[str] | None = None,
+    registry=None,
+) -> LintReport:
+    """Lint one package tree and return the waiver-filtered report.
+
+    Parameters
+    ----------
+    root:
+        Package directory to lint (see :func:`resolve_root`).
+    select:
+        Optional subset of rule codes to run (e.g. ``{"RPL003"}``);
+        default runs every rule.  Waivers for deselected rules are left
+        alone (neither applied nor reported stale).
+    registry:
+        Override for RPL006's live backend registry — fixture tests pass
+        ``{name: cls}`` dicts; the default inspects the real registry when
+        (and only when) the linted tree is the installed package.
+    """
+    root = resolve_root(root)
+    if select is not None:
+        unknown = sorted(select - set(RULES_BY_CODE))
+        if unknown:
+            raise ConfigError(
+                f"unknown rule code(s) {', '.join(unknown)}; known: "
+                + ", ".join(sorted(RULES_BY_CODE))
+            )
+    active = set(RULES_BY_CODE) if select is None else set(select)
+
+    project = Project.load(root)
+    raw: list[Finding] = list(project.parse_findings)
+    for rule in ALL_RULES:
+        if rule.CODE not in active:
+            continue
+        if rule.CODE == "RPL006":
+            raw.extend(rule.check(project, registry=registry))
+        else:
+            raw.extend(rule.check(project))
+
+    waivers_by_path = {}
+    meta: list[Finding] = []
+    known_codes = set(RULES_BY_CODE)
+    for module in project.modules:
+        waivers, malformed = collect_waivers(module, known_codes)
+        meta.extend(malformed)
+        if waivers:
+            waivers_by_path[module.relpath] = waivers
+
+    kept, stale, used = apply_waivers(raw, waivers_by_path, active)
+    findings = sorted(kept + meta + stale)
+    return LintReport(
+        root=str(root),
+        files=len(project.modules) + len(project.parse_findings),
+        findings=findings,
+        waivers_used=used,
+    )

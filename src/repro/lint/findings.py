@@ -1,0 +1,91 @@
+"""Finding and report types shared by every lint rule.
+
+A :class:`Finding` is one violation at one source line; a
+:class:`LintReport` is the outcome of a whole run — findings already
+waiver-filtered, plus enough metadata to render the text and JSON outputs
+and to derive the process exit code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a file and line."""
+
+    path: str  #: posix path relative to the linted package root
+    line: int  #: 1-based source line
+    code: str  #: stable rule code, e.g. ``"RPL003"``
+    message: str  #: human-readable description of the violation
+    rule: str = field(default="", compare=False)  #: short rule name
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "code": self.code,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintReport:
+    """The result of linting one package tree."""
+
+    root: str  #: the linted package root, as given
+    files: int  #: number of Python files scanned
+    findings: list[Finding]  #: waiver-filtered findings, sorted
+    waivers_used: int = 0  #: well-formed waivers that suppressed a finding
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Finding count per rule code, code-ascending."""
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def exit_code(self) -> int:
+        """``0`` when clean, ``1`` when any finding survived waivers.
+
+        (``2`` is reserved for runner errors — bad paths, bad flags — and
+        produced by the CLI, never by a report.)
+        """
+        return 1 if self.findings else 0
+
+    def render_text(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        summary = (
+            f"repro-lint: {len(self.findings)} finding"
+            f"{'' if len(self.findings) == 1 else 's'} in {self.files} files"
+        )
+        if self.counts:
+            summary += " (" + ", ".join(
+                f"{code}: {n}" for code, n in self.counts.items()
+            ) + ")"
+        if self.waivers_used:
+            summary += f"; {self.waivers_used} waived"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "tool": "repro-lint",
+            "schema_version": 1,
+            "root": self.root,
+            "files": self.files,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "counts": self.counts,
+            "waivers_used": self.waivers_used,
+            "exit_code": self.exit_code(),
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False)

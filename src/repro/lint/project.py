@@ -1,0 +1,82 @@
+"""The source model rules run against: parsed modules of one package tree.
+
+A :class:`Project` is a package root plus every ``*.py`` file under it,
+each pre-parsed to an AST with its raw source kept alongside (several
+rules need the source text — hex-literal detection, waiver comments).
+Files that fail to parse become findings (``RPL902``) instead of
+aborting the run, so one broken file cannot hide violations elsewhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+#: Meta-code for files the parser rejects.
+PARSE_ERROR = "RPL902"
+
+
+@dataclass
+class SourceModule:
+    """One parsed Python file of the linted package."""
+
+    path: Path  #: absolute filesystem path
+    relpath: str  #: posix path relative to the package root
+    source: str
+    tree: ast.Module
+    lines: list[str]  #: raw source lines (index 0 = line 1)
+
+    def line(self, lineno: int) -> str:
+        """The raw text of a 1-based source line ('' when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def finding(self, code: str, lineno: int, message: str, rule: str = "") -> Finding:
+        return Finding(
+            path=self.relpath, line=lineno, code=code, message=message, rule=rule
+        )
+
+
+class Project:
+    """Every parsed module under one package root."""
+
+    def __init__(self, root: Path, modules: list[SourceModule], parse_findings):
+        self.root = root
+        self.modules = modules
+        self.parse_findings: list[Finding] = list(parse_findings)
+
+    @classmethod
+    def load(cls, root: Path) -> "Project":
+        root = Path(root)
+        modules: list[SourceModule] = []
+        parse_findings: list[Finding] = []
+        for path in sorted(root.rglob("*.py")):
+            relpath = path.relative_to(root).as_posix()
+            source = path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError as exc:
+                parse_findings.append(
+                    Finding(
+                        path=relpath,
+                        line=exc.lineno or 1,
+                        code=PARSE_ERROR,
+                        message=f"file does not parse: {exc.msg}",
+                        rule="parse-error",
+                    )
+                )
+                continue
+            modules.append(
+                SourceModule(
+                    path=path,
+                    relpath=relpath,
+                    source=source,
+                    tree=tree,
+                    lines=source.splitlines(),
+                )
+            )
+        return cls(root, modules, parse_findings)

@@ -1,0 +1,37 @@
+"""The rule registry: one module per invariant, each with a stable code.
+
+Every rule module exposes ``CODE`` (stable, e.g. ``"RPL003"``), ``NAME``
+(short kebab-case identifier), ``DESCRIPTION`` (one line for ``--list``),
+and ``check(project) -> list[Finding]``.  Register new rules by adding the
+module here; codes are append-only — a retired rule's code is never
+reused.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import (
+    backend_contract,
+    determinism,
+    executor_safety,
+    numpy_optional,
+    sans_io,
+    typed_errors,
+    wire_magic,
+)
+
+#: All rule modules, code-ascending.
+ALL_RULES = (
+    sans_io,  # RPL001
+    numpy_optional,  # RPL002
+    typed_errors,  # RPL003
+    determinism,  # RPL004
+    wire_magic,  # RPL005
+    backend_contract,  # RPL006
+    executor_safety,  # RPL007
+)
+
+#: code -> rule module.
+RULES_BY_CODE = {rule.CODE: rule for rule in ALL_RULES}
+
+#: Codes an inline waiver may name.
+WAIVABLE_CODES = frozenset(RULES_BY_CODE)

@@ -1,0 +1,137 @@
+"""RPL002 — numpy stays an optional extra with a pure fallback.
+
+Since PR 1 the library must import — and produce bit-identical wire bytes —
+without numpy installed; the no-numpy CI leg enforces the behaviour, this
+rule enforces the *shape* that makes the behaviour possible:
+
+* numpy may only be imported as a whole module with an alias
+  (``import numpy as _np``), never ``from numpy import ...`` — the alias is
+  what the fallback path tests;
+* the import must sit in a ``try`` whose ``except ImportError`` arm binds
+  that same alias to ``None`` (the machine-checkable core of "defines a
+  pure fallback path": every use site can gate on ``_np is None``);
+* only ``iblt/backends/vector.py`` — the numpy backend itself — may assume
+  numpy at use time, and even it must guard the import because the backend
+  registry imports the module unconditionally.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Finding
+from repro.lint.project import Project, SourceModule
+
+CODE = "RPL002"
+NAME = "numpy-optional"
+DESCRIPTION = (
+    "numpy imported only as 'import numpy as X' under try/except "
+    "ImportError with 'X = None' in the handler (pure fallback)"
+)
+
+_IMPORT_ERRORS = {"ImportError", "ModuleNotFoundError"}
+
+
+def _catches_import_error(handler: ast.ExceptHandler) -> bool:
+    kind = handler.type
+    if kind is None:
+        return True  # bare except catches ImportError too
+    names = kind.elts if isinstance(kind, ast.Tuple) else [kind]
+    for name in names:
+        if isinstance(name, ast.Name) and name.id in _IMPORT_ERRORS:
+            return True
+        if isinstance(name, ast.Attribute) and name.attr in _IMPORT_ERRORS:
+            return True
+    return False
+
+
+def _none_bound_names(handler: ast.ExceptHandler) -> set[str]:
+    """Names the handler assigns ``None`` to (``_np = None``)."""
+    bound: set[str] = set()
+    for stmt in ast.walk(handler):
+        if not isinstance(stmt, ast.Assign):
+            continue
+        value = stmt.value
+        if not (isinstance(value, ast.Constant) and value.value is None):
+            continue
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                bound.add(target.id)
+    return bound
+
+
+def _guarded_imports(module: SourceModule) -> dict[ast.stmt, set[str]]:
+    """Map each import statement under a guarding Try to the fallback names.
+
+    An import is *guarded* when it sits in the body of a ``try`` that has an
+    ``except ImportError`` handler; the mapped set holds every name that
+    handler rebinds to ``None``.
+    """
+    guarded: dict[ast.stmt, set[str]] = {}
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Try):
+            continue
+        fallback: set[str] = set()
+        catches = False
+        for handler in node.handlers:
+            if _catches_import_error(handler):
+                catches = True
+                fallback |= _none_bound_names(handler)
+        if not catches:
+            continue
+        for stmt in node.body:
+            for inner in ast.walk(stmt):
+                if isinstance(inner, (ast.Import, ast.ImportFrom)):
+                    guarded[inner] = fallback
+    return guarded
+
+
+def check(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in project.modules:
+        guarded = _guarded_imports(module)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.level == 0 and (node.module or "").split(".")[0] == "numpy":
+                    findings.append(
+                        module.finding(
+                            CODE,
+                            node.lineno,
+                            "'from numpy import ...' defeats the optional-"
+                            "dependency discipline; use 'import numpy as "
+                            "_np' under try/except ImportError so the "
+                            "fallback can set the alias to None",
+                            rule=NAME,
+                        )
+                    )
+                continue
+            if not isinstance(node, ast.Import):
+                continue
+            for alias in node.names:
+                if alias.name.split(".")[0] != "numpy":
+                    continue
+                bound = alias.asname or alias.name.split(".")[0]
+                if node not in guarded:
+                    findings.append(
+                        module.finding(
+                            CODE,
+                            node.lineno,
+                            "unguarded numpy import; numpy is an optional "
+                            "extra — wrap in try/except ImportError and "
+                            f"bind '{bound} = None' in the handler",
+                            rule=NAME,
+                        )
+                    )
+                elif bound not in guarded[node]:
+                    findings.append(
+                        module.finding(
+                            CODE,
+                            node.lineno,
+                            f"numpy import is guarded but the except "
+                            f"ImportError arm never binds '{bound} = None'; "
+                            "without the sentinel there is no pure fallback "
+                            "path to gate on",
+                            rule=NAME,
+                        )
+                    )
+    return findings

@@ -1,0 +1,62 @@
+"""RPL001 — sans-I/O purity of the protocol core.
+
+The session state machines, the protocol/codec substrate they drive, and
+the bit-level wire primitives must contain no I/O, no event loop, and no
+wall-clock: PR 4's whole architecture rests on the same session bytes
+being pumpable over a simulated channel, an asyncio loopback, or TCP.
+An import of ``socket``/``asyncio``/``selectors``/``ssl`` — or of ``time``,
+whose only use in protocol code would be timeouts or timing-dependent
+behaviour — inside the protected set is a layering violation, whatever it
+is used for.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Finding
+from repro.lint.project import Project
+from repro.lint.scopes import SANS_IO, in_scope
+
+CODE = "RPL001"
+NAME = "sans-io-purity"
+DESCRIPTION = (
+    "no socket/asyncio/selectors/ssl/time imports in session/, core/, "
+    "iblt/, gf/, net/bits.py, net/codec.py"
+)
+
+#: Top-level module names that imply I/O, scheduling, or wall-clock time.
+BANNED_MODULES = frozenset(
+    {"socket", "asyncio", "selectors", "ssl", "time", "socketserver"}
+)
+
+
+def check(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in project.modules:
+        if not in_scope(module.relpath, SANS_IO):
+            continue
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative import: stays inside the package
+                    continue
+                names = [node.module or ""]
+            else:
+                continue
+            for name in names:
+                top = name.split(".")[0]
+                if top in BANNED_MODULES:
+                    findings.append(
+                        module.finding(
+                            CODE,
+                            node.lineno,
+                            f"sans-I/O module imports {top!r}; protocol code "
+                            "must stay free of I/O, event loops, and "
+                            "wall-clock time (move this to the transport "
+                            "layer: serve/, net/channel.py, or the drivers)",
+                            rule=NAME,
+                        )
+                    )
+    return findings

@@ -1,0 +1,151 @@
+"""RPL003 — library errors flow through the ``ReproError`` hierarchy.
+
+Callers are promised one catchable base type at protocol boundaries
+(:class:`repro.errors.ReproError`) with meaningful subclasses under it; a
+bare ``raise ValueError(...)`` deep inside the library silently breaks
+that contract.  This rule flags every ``raise`` of a builtin exception
+anywhere in the tree.
+
+Deliberate exceptions exist — control-flow raises caught two lines later,
+errors that intentionally mirror Python's own semantics — and are recorded
+with an inline waiver carrying a reason::
+
+    # repro-lint: waive[RPL003] reason=control flow; caught below
+
+Raises of names this rule cannot resolve (caught-and-re-raised variables,
+exception classes imported from elsewhere) are not flagged; the rule is a
+tripwire for the common regression, not a type system.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Finding
+from repro.lint.project import Project
+
+CODE = "RPL003"
+NAME = "typed-errors"
+DESCRIPTION = (
+    "library raises must be ReproError subclasses (inline waivers with a "
+    "reason allowed)"
+)
+
+#: The root of the sanctioned hierarchy (defined in ``errors.py``).
+ROOT_ERROR = "ReproError"
+
+#: Builtin exceptions whose direct raise is a violation.
+BANNED_BUILTINS = frozenset(
+    {
+        "ArithmeticError",
+        "AssertionError",
+        "AttributeError",
+        "BaseException",
+        "BufferError",
+        "EOFError",
+        "Exception",
+        "FloatingPointError",
+        "IOError",
+        "IndexError",
+        "KeyError",
+        "LookupError",
+        "MemoryError",
+        "NotImplementedError",
+        "OSError",
+        "OverflowError",
+        "RuntimeError",
+        "StopIteration",
+        "TypeError",
+        "UnicodeDecodeError",
+        "UnicodeEncodeError",
+        "UnicodeError",
+        "ValueError",
+        "ZeroDivisionError",
+    }
+)
+
+
+def typed_error_names(project: Project) -> set[str]:
+    """Every class name in the project that (transitively) subclasses
+    ``ReproError``, computed by name-level fixpoint over all class defs."""
+    typed = {ROOT_ERROR}
+    bases_of = _project_class_bases(project)
+    changed = True
+    while changed:
+        changed = False
+        for name, bases in bases_of.items():
+            if name not in typed and bases & typed:
+                typed.add(name)
+                changed = True
+    return typed
+
+
+def _project_class_bases(project: Project) -> dict[str, set[str]]:
+    """Base-class names (by terminal name) of every class def in the tree."""
+    bases_of: dict[str, set[str]] = {}
+    for module in project.modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            names: set[str] = set()
+            for base in node.bases:
+                if isinstance(base, ast.Name):
+                    names.add(base.id)
+                elif isinstance(base, ast.Attribute):
+                    names.add(base.attr)
+            bases_of.setdefault(node.name, set()).update(names)
+    return bases_of
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    exc = node.exc
+    if exc is None:
+        return None  # bare re-raise
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    return None
+
+
+def check(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    typed = typed_error_names(project)
+    # Project-defined exception classes that dodge the hierarchy: classes
+    # whose base chain reaches a builtin exception but never ReproError.
+    bases_of = _project_class_bases(project)
+    untyped_locals = {
+        name
+        for name, bases in bases_of.items()
+        if name not in typed and bases & (BANNED_BUILTINS | {"SystemExit"})
+    }
+    for module in project.modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            name = _raised_name(node)
+            if name is None:
+                continue
+            if name in BANNED_BUILTINS:
+                reason = f"raise of builtin {name}"
+            elif name in untyped_locals:
+                reason = (
+                    f"raise of {name}, which subclasses a builtin "
+                    "exception but not ReproError"
+                )
+            else:
+                continue
+            findings.append(
+                module.finding(
+                    CODE,
+                    node.lineno,
+                    f"{reason}; library errors must be ReproError "
+                    "subclasses (see repro/errors.py) — or carry "
+                    "'# repro-lint: waive[RPL003] reason=...' if this "
+                    "raise is a reviewed exception",
+                    rule=NAME,
+                )
+            )
+    return findings

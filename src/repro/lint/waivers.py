@@ -1,0 +1,176 @@
+"""Inline waivers: ``# repro-lint: waive[RPL003] reason=...``.
+
+A waiver suppresses findings of one rule code on one line.  Written at the
+end of a code line it targets that line; written as a standalone comment it
+targets the next line that holds code.  The reason is mandatory — a waiver
+is a reviewed exception to an invariant, and the justification must travel
+with it.
+
+The waiver engine polices itself:
+
+* ``RPL900`` — a waiver that is malformed: missing reason, unparsable
+  syntax after the ``repro-lint:`` marker, or an unknown rule code.
+* ``RPL901`` — a *stale* waiver: well-formed, but no finding of its code
+  exists on its target line.  Stale waivers are how silently-fixed (or
+  mis-anchored) exceptions get cleaned up instead of accumulating.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.lint.findings import Finding
+from repro.lint.project import SourceModule
+
+MALFORMED_WAIVER = "RPL900"
+STALE_WAIVER = "RPL901"
+
+#: Anything carrying this marker is treated as an attempted waiver.
+_MARKER = re.compile(r"#\s*repro-lint:\s*(?P<tail>.*)$")
+#: The well-formed tail: ``waive[CODE] reason=<non-empty>``.
+_WAIVE = re.compile(
+    r"^waive\[(?P<code>[A-Za-z0-9]+)\]\s*(?:reason=(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass
+class Waiver:
+    """One well-formed waiver comment."""
+
+    code: str
+    reason: str
+    line: int  #: line the comment is written on
+    target: int  #: line whose findings it suppresses
+    used: bool = field(default=False, compare=False)
+
+
+def _code_lines(module: SourceModule) -> set[int]:
+    """Lines that hold at least one non-comment token (i.e. actual code)."""
+    lines: set[int] = set()
+    for token in _tokens(module):
+        if token.type in (
+            tokenize.COMMENT,
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENCODING,
+            tokenize.ENDMARKER,
+        ):
+            continue
+        for lineno in range(token.start[0], token.end[0] + 1):
+            lines.add(lineno)
+    return lines
+
+
+def _tokens(module: SourceModule):
+    # The module parsed as an AST, so tokenization cannot fail.
+    return tokenize.generate_tokens(io.StringIO(module.source).readline)
+
+
+def collect_waivers(
+    module: SourceModule, known_codes: set[str]
+) -> tuple[list[Waiver], list[Finding]]:
+    """Parse every waiver comment of one module.
+
+    Returns the well-formed waivers plus the ``RPL900`` findings for the
+    malformed ones.  Comments are read with :mod:`tokenize`, so markers
+    inside string literals are never mistaken for waivers.
+    """
+    waivers: list[Waiver] = []
+    malformed: list[Finding] = []
+    code_lines = _code_lines(module)
+    for token in _tokens(module):
+        if token.type != tokenize.COMMENT:
+            continue
+        marker = _MARKER.search(token.string)
+        if marker is None:
+            continue
+        lineno = token.start[0]
+        match = _WAIVE.match(marker.group("tail").strip())
+        if match is None:
+            malformed.append(
+                module.finding(
+                    MALFORMED_WAIVER,
+                    lineno,
+                    "unparsable repro-lint comment; expected "
+                    "'# repro-lint: waive[RPLnnn] reason=<why>'",
+                    rule="waiver-discipline",
+                )
+            )
+            continue
+        code = match.group("code")
+        reason = (match.group("reason") or "").strip()
+        if code not in known_codes:
+            malformed.append(
+                module.finding(
+                    MALFORMED_WAIVER,
+                    lineno,
+                    f"waiver names unknown rule code {code!r}",
+                    rule="waiver-discipline",
+                )
+            )
+            continue
+        if not reason:
+            malformed.append(
+                module.finding(
+                    MALFORMED_WAIVER,
+                    lineno,
+                    f"waiver for {code} has no reason; append "
+                    "'reason=<why this line is exempt>'",
+                    rule="waiver-discipline",
+                )
+            )
+            continue
+        target = lineno
+        if lineno not in code_lines:
+            # Standalone comment: it covers the next line that holds code.
+            later = [line for line in code_lines if line > lineno]
+            target = min(later) if later else lineno
+        waivers.append(Waiver(code=code, reason=reason, line=lineno, target=target))
+    return waivers, malformed
+
+
+def apply_waivers(
+    findings: list[Finding],
+    waivers_by_path: dict[str, list[Waiver]],
+    active_codes: set[str],
+) -> tuple[list[Finding], list[Finding], int]:
+    """Suppress waived findings; report stale waivers.
+
+    Returns ``(kept_findings, stale_findings, used_count)``.  Waivers for
+    rules outside ``active_codes`` (e.g. deselected via ``--select``) are
+    neither applied nor reported stale — their rule never ran.
+    """
+    kept: list[Finding] = []
+    for finding in findings:
+        waived = False
+        for waiver in waivers_by_path.get(finding.path, ()):
+            if waiver.code == finding.code and waiver.target == finding.line:
+                waiver.used = True
+                waived = True
+        if not waived:
+            kept.append(finding)
+    stale: list[Finding] = []
+    used = 0
+    for path, waivers in sorted(waivers_by_path.items()):
+        for waiver in waivers:
+            if waiver.used:
+                used += 1
+            elif waiver.code in active_codes:
+                stale.append(
+                    Finding(
+                        path=path,
+                        line=waiver.line,
+                        code=STALE_WAIVER,
+                        message=(
+                            f"stale waiver: no {waiver.code} finding on line "
+                            f"{waiver.target}; delete the waiver"
+                        ),
+                        rule="waiver-discipline",
+                    )
+                )
+    return kept, stale, used

@@ -29,7 +29,7 @@ from __future__ import annotations
 try:  # soft dependency: the bulk array paths vectorize, the rest never needs it
     import numpy as _np
 except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
-    _np = None
+    _np = None  # type: ignore[assignment]
 
 from repro.errors import SerializationError
 

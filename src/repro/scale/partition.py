@@ -31,6 +31,7 @@ except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
 
 from repro.core.config import ProtocolConfig
 from repro.core.grid import ShiftedGridHierarchy
+from repro.errors import BackendUnavailableError
 from repro.emd.metrics import Point
 from repro.iblt.hashing import hash_with_salt, splitmix64
 
@@ -106,7 +107,7 @@ class SpacePartitioner:
         arithmetic reproduces the reference's explicit masking.
         """
         if _np is None:
-            raise RuntimeError("shard_id_array requires numpy")
+            raise BackendUnavailableError("shard_id_array requires numpy")
         if self.shards == 1:
             return _np.zeros(cell_keys.shape[0], dtype=_np.int64)
         from repro.iblt.backends.vector import _splitmix64_vec

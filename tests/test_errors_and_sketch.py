@@ -6,6 +6,7 @@ from repro.core.config import ProtocolConfig
 from repro.core.grid import ShiftedGridHierarchy
 from repro.core.sketch import HierarchySketch, LevelSketch, level_iblt_config
 from repro.errors import (
+    BackendUnavailableError,
     CapacityExceeded,
     ChannelError,
     ConfigError,
@@ -21,6 +22,7 @@ class TestErrorHierarchy:
     @pytest.mark.parametrize("exc_type", [
         ConfigError, SerializationError, DecodeFailure,
         ReconciliationFailure, ChannelError, CapacityExceeded,
+        BackendUnavailableError,
     ])
     def test_all_derive_from_repro_error(self, exc_type):
         assert issubclass(exc_type, ReproError)
@@ -28,6 +30,33 @@ class TestErrorHierarchy:
     def test_config_error_is_value_error(self):
         """Callers using stdlib idioms still catch config problems."""
         assert issubclass(ConfigError, ValueError)
+
+    def test_backend_unavailable_exported_from_package_root(self):
+        import repro
+
+        assert repro.BackendUnavailableError is BackendUnavailableError
+        assert "BackendUnavailableError" in repro.__all__
+
+    def test_typed_error_migration_keeps_value_error_compat(self):
+        """The PR-7 ValueError -> ConfigError migrations must not break
+        callers that catch ValueError (ConfigError subclasses it)."""
+        from repro.iblt.hashing import HashFamily, splitmix64
+
+        with pytest.raises(ValueError):
+            splitmix64(-1)
+        with pytest.raises(ValueError):
+            HashFamily(q=1, cells=10, seed=0)
+        config = ProtocolConfig(delta=64, dimension=1, k=2, seed=1)
+        table = IBLT(level_iblt_config(
+            config, ShiftedGridHierarchy(64, 1, 1), config.sketch_levels[0]
+        ))
+        with pytest.raises(ValueError):
+            table.insert(-5)
+        # And the same failures remain catchable as typed ConfigError.
+        with pytest.raises(ConfigError):
+            splitmix64(-1)
+        with pytest.raises(ConfigError):
+            table.insert(-5)
 
     def test_decode_failure_carries_diagnostics(self):
         failure = DecodeFailure("stalled", recovered=7, remaining=3)

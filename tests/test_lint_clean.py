@@ -1,0 +1,171 @@
+"""The whole tree is finding-free — and the linter would catch a revert.
+
+This is the contract the ``static-analysis`` CI job enforces: linting
+``src/repro`` produces zero findings, and undoing one of this PR's
+typed-error migrations (or re-typing a wire magic) makes the run fail
+again.  The CLI runner is exercised end-to-end here too, since CI calls
+it exactly this way.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.lint import RULES_BY_CODE, run_lint
+
+PACKAGE_ROOT = Path(repro.__file__).resolve().parent
+
+
+class TestTreeIsClean:
+    def test_whole_tree_has_no_findings(self):
+        report = run_lint(PACKAGE_ROOT)
+        assert report.findings == [], "\n" + report.render_text()
+
+    def test_tree_uses_waivers_it_declares(self):
+        # The reviewed exceptions (gf ZeroDivisionError semantics, strata
+        # control-flow raises) are live: their waivers all match findings.
+        report = run_lint(PACKAGE_ROOT)
+        assert report.waivers_used >= 6
+
+    def test_every_rule_ran_against_the_tree(self):
+        # Guard against a rule silently dropping out of the registry.
+        assert sorted(RULES_BY_CODE) == [
+            "RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006",
+            "RPL007",
+        ]
+
+
+def copy_package(tmp_path: Path) -> Path:
+    target = tmp_path / "repro"
+    shutil.copytree(PACKAGE_ROOT, target)
+    return target
+
+
+class TestRevertDetection:
+    """Deliberately undoing a PR-7 migration must fail the linter."""
+
+    def test_reverting_typed_error_migration_fails(self, tmp_path):
+        root = copy_package(tmp_path)
+        hashing = root / "iblt" / "hashing.py"
+        source = hashing.read_text(encoding="utf-8")
+        migrated = 'raise ConfigError(f"splitmix64 input must be non-negative'
+        assert migrated in source
+        hashing.write_text(
+            source.replace(migrated, 'raise ValueError(f"splitmix64 input must be non-negative'),
+            encoding="utf-8",
+        )
+        report = run_lint(root)
+        assert [finding.code for finding in report.findings] == ["RPL003"]
+        assert report.findings[0].path == "iblt/hashing.py"
+        assert report.exit_code() == 1
+
+    def test_retyping_a_wire_magic_fails(self, tmp_path):
+        root = copy_package(tmp_path)
+        rateless = root / "core" / "rateless.py"
+        source = rateless.read_text(encoding="utf-8")
+        assert "INCREMENT_MAGIC, 8)" in source
+        rateless.write_text(
+            source.replace("INCREMENT_MAGIC, 8)", "0xC7, 8)", 1),
+            encoding="utf-8",
+        )
+        report = run_lint(root)
+        assert any(f.code == "RPL005" for f in report.findings)
+
+    def test_deleting_a_used_waiver_reason_fails(self, tmp_path):
+        root = copy_package(tmp_path)
+        strata = root / "iblt" / "strata.py"
+        source = strata.read_text(encoding="utf-8")
+        waiver = "# repro-lint: waive[RPL003] reason="
+        assert waiver in source
+        # Truncate the first waiver's reason: the waiver turns malformed
+        # (RPL900) and the raise it covered resurfaces (RPL003).
+        index = source.index(waiver)
+        end = source.index("\n", index)
+        stale = source[:index] + "# repro-lint: waive[RPL003]" + source[end:]
+        strata.write_text(stale, encoding="utf-8")
+        report = run_lint(root)
+        codes = sorted({f.code for f in report.findings})
+        assert codes == ["RPL003", "RPL900"]
+
+
+def run_cli(*argv, cwd=None):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *argv],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env={"PYTHONPATH": str(PACKAGE_ROOT.parent), "PATH": "/usr/bin:/bin"},
+    )
+
+
+class TestRunner:
+    def test_text_run_on_real_tree_exits_zero(self):
+        result = run_cli(str(PACKAGE_ROOT))
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "0 findings" in result.stdout
+
+    def test_default_root_is_the_installed_package(self):
+        result = run_cli()
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_json_output_is_machine_readable(self, tmp_path):
+        out = tmp_path / "lint.json"
+        result = run_cli(str(PACKAGE_ROOT), "--format", "json",
+                         "--output", str(out))
+        assert result.returncode == 0
+        stdout_report = json.loads(result.stdout)
+        file_report = json.loads(out.read_text(encoding="utf-8"))
+        assert stdout_report == file_report
+        assert stdout_report["tool"] == "repro-lint"
+        assert stdout_report["findings"] == []
+        assert stdout_report["exit_code"] == 0
+        assert stdout_report["files"] > 80
+
+    def test_findings_drive_exit_code_and_json(self, tmp_path):
+        bad = tmp_path / "pkg"
+        (bad / "session").mkdir(parents=True)
+        (bad / "__init__.py").write_text("", encoding="utf-8")
+        (bad / "session" / "__init__.py").write_text("", encoding="utf-8")
+        (bad / "session" / "m.py").write_text("import socket\n", encoding="utf-8")
+        result = run_cli(str(bad), "--format", "json")
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        assert payload["counts"] == {"RPL001": 1}
+        assert payload["findings"][0]["path"] == "session/m.py"
+
+    def test_select_restricts_rules(self, tmp_path):
+        bad = tmp_path / "pkg"
+        (bad / "session").mkdir(parents=True)
+        (bad / "__init__.py").write_text("", encoding="utf-8")
+        (bad / "session" / "m.py").write_text(
+            "import socket\nimport numpy\n", encoding="utf-8"
+        )
+        result = run_cli(str(bad), "--select", "RPL002", "--format", "json")
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        assert payload["counts"] == {"RPL002": 1}
+
+    def test_bad_arguments_exit_two(self, tmp_path):
+        assert run_cli(str(tmp_path / "missing")).returncode == 2
+        assert run_cli(str(PACKAGE_ROOT), "--select", "RPL999").returncode == 2
+
+    def test_list_rules_names_every_code(self):
+        result = run_cli("--list-rules")
+        assert result.returncode == 0
+        for code in list(RULES_BY_CODE) + ["RPL900", "RPL901", "RPL902"]:
+            assert code in result.stdout
+
+
+@pytest.mark.parametrize("code", sorted(RULES_BY_CODE))
+def test_every_rule_module_declares_metadata(code):
+    rule = RULES_BY_CODE[code]
+    assert rule.CODE == code
+    assert rule.NAME and rule.NAME == rule.NAME.lower()
+    assert rule.DESCRIPTION
