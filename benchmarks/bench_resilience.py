@@ -1,0 +1,261 @@
+"""B8 — Resilience: what resumption saves and what shedding bounds.
+
+Two measurements:
+
+1. **Resumption payoff** — a rateless sync is cut by a deterministic
+   chaos-proxy disconnect after ``cut`` increments; the resilient client
+   reconnects with its resume token and the server streams only the
+   remaining increments.  Recorded per cut point: the bytes the resumed
+   connection actually shipped vs a from-scratch run of the same stream,
+   and their ratio.  The later the cut, the less a retry costs — the
+   rateless promise (bytes proportional to the difference) extended
+   across connection failures.
+2. **Overload shedding** — a 1-slot server is hit by a burst of resilient
+   clients, once with the shedding watermark enabled (``max_pending=0``,
+   arrivals beyond the slot get a typed ``RETRY_LATER`` with a
+   retry-after hint) and once with the pre-resilience unbounded queue.
+   Recorded: per-client completion latency (p50/p95), how many arrivals
+   were shed, and that every client eventually succeeded in both modes.
+
+What to expect: resumed bytes strictly below from-scratch bytes at every
+cut point, with the ratio falling as the cut moves later; under overload
+every shed is typed (no client ever hangs or fails), and the burst
+completes with a bounded p95 because refused clients back off instead of
+piling onto the accept queue.  The JSON record (``b8_resilience.json`` /
+``b8_resilience_smoke.json``) is the artifact CI consumes; the full run
+is copied to ``BENCH_8.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.analysis.tables import Table
+from repro.core.config import ProtocolConfig
+from repro.core.rateless import RatelessConfig, reconcile_rateless
+from repro.net.channel import Direction
+from repro.net.faults import ChaosProxy, FaultPlan
+from repro.serve import ReconciliationServer, RetryPolicy, resilient_sync
+from repro.session.rateless import RatelessResumeState
+from repro.workloads.synthetic import perturbed_pair
+
+DELTA = 2**16
+SEED = 0
+#: Small initial segment so the stream spans many increments: every cut
+#: point in the sweep lands mid-stream.
+RATELESS = RatelessConfig(initial_cells=8)
+
+CUT_POINTS = (1, 2, 4)
+BURST_CLIENTS = 16
+
+
+def _workload():
+    """Clean replicas (no noise): exactly 24 moved points, so every
+    variant repairs Bob to exactly Alice's multiset."""
+    return perturbed_pair(SEED, 200, DELTA, 2, 24, 0)
+
+
+def _config():
+    return ProtocolConfig(delta=DELTA, dimension=2, k=8, seed=SEED)
+
+
+def _policy(seed=0):
+    return RetryPolicy(
+        attempts=10, base_delay=0.005, max_delay=0.05, seed=seed
+    )
+
+
+# ------------------------------------------------------- resumption payoff
+
+
+async def _resume_run(config, workload, cut):
+    plan = FaultPlan(disconnect=(Direction.ALICE_TO_BOB, cut))
+    resume = RatelessResumeState()
+    async with ReconciliationServer(
+        config, workload.alice, rateless=RATELESS, timeout=5.0
+    ) as server:
+        async with ChaosProxy(*server.address, plan) as proxy:
+            result = await resilient_sync(
+                *proxy.address, config, workload.bob,
+                variant="rateless", rateless=RATELESS,
+                policy=_policy(), resume=resume, timeout=5,
+            )
+        await server.wait_for_sessions(2)
+        (ok_stats,) = [s for s in server.stats if s.ok]
+        return result, ok_stats, server.summary()
+
+
+def sweep_resumption(cut_points=CUT_POINTS):
+    """Bytes shipped by the resumed connection vs a from-scratch stream."""
+    config = _config()
+    workload = _workload()
+    clean = reconcile_rateless(workload.alice, workload.bob, config, RATELESS)
+    scratch_bytes = clean.transcript.alice_to_bob_bytes
+    rows = []
+    for cut in cut_points:
+        result, ok_stats, summary = asyncio.run(
+            _resume_run(config, workload, cut)
+        )
+        assert sorted(result.repaired) == sorted(clean.repaired), cut
+        assert summary["resumed"] == 1, cut
+        resumed_bytes = ok_stats.transcript.alice_to_bob_bytes
+        rows.append({
+            "cut_after_increments": cut,
+            "resumed_from": ok_stats.resumed_from,
+            "scratch_bytes": scratch_bytes,
+            "resumed_bytes": resumed_bytes,
+            "ratio": round(resumed_bytes / scratch_bytes, 4),
+        })
+    return rows
+
+
+# ------------------------------------------------------- overload shedding
+
+
+async def _burst(config, workload, clients, max_pending):
+    latencies = []
+
+    async def one_client(i):
+        started = time.perf_counter()
+        result = await resilient_sync(
+            *server.address, config, workload.bob,
+            policy=_policy(seed=i), timeout=10,
+        )
+        latencies.append(time.perf_counter() - started)
+        return result
+
+    async with ReconciliationServer(
+        config, workload.alice, max_sessions=1, max_pending=max_pending,
+        retry_after_hint=0.01,
+    ) as server:
+        results = await asyncio.gather(*[
+            one_client(i) for i in range(clients)
+        ])
+        while server.summary()["ok"] < clients:
+            await asyncio.sleep(0.005)
+        summary = server.summary()
+    expected = sorted(workload.alice)
+    assert all(sorted(r.repaired) == expected for r in results)
+    return latencies, summary
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    return ordered[int(q * (len(ordered) - 1))]
+
+
+def sweep_shedding(clients=BURST_CLIENTS):
+    """One burst against a 1-slot server, shed vs queued admission."""
+    config = _config()
+    workload = _workload()
+    rows = []
+    for mode, max_pending in (("shed", 0), ("queue", None)):
+        latencies, summary = asyncio.run(
+            _burst(config, workload, clients, max_pending)
+        )
+        rows.append({
+            "mode": mode,
+            "clients": clients,
+            "ok": summary["ok"],
+            "shed": summary["shed"],
+            "p50_ms": round(_percentile(latencies, 0.50) * 1000, 2),
+            "p95_ms": round(_percentile(latencies, 0.95) * 1000, 2),
+        })
+    return rows
+
+
+# -------------------------------------------------------------- rendering
+
+
+def experiment(cut_points=CUT_POINTS, clients=BURST_CLIENTS):
+    """Run both measurements; returns (payload, rendered text)."""
+    resume_rows = sweep_resumption(cut_points)
+    shed_rows = sweep_shedding(clients)
+
+    resume_table = Table(
+        ["cut", "resumed_from", "scratch_bytes", "resumed_bytes", "ratio"],
+        title=(
+            "B8a: bytes shipped by a resumed rateless stream vs from-scratch "
+            f"(initial_cells={RATELESS.initial_cells})"
+        ),
+    )
+    for row in resume_rows:
+        resume_table.add_row([
+            row["cut_after_increments"], row["resumed_from"],
+            row["scratch_bytes"], row["resumed_bytes"], f"{row['ratio']:.3f}",
+        ])
+
+    shed_table = Table(
+        ["mode", "clients", "ok", "shed", "p50 ms", "p95 ms"],
+        title="B8b: burst against a 1-slot server, shed vs queued admission",
+    )
+    for row in shed_rows:
+        shed_table.add_row([
+            row["mode"], row["clients"], row["ok"], row["shed"],
+            row["p50_ms"], row["p95_ms"],
+        ])
+
+    payload = {
+        "experiment": "b8_resilience",
+        "workload": {
+            "n": 200, "delta": DELTA, "dimension": 2, "true_k": 24,
+            "noise": 0, "seed": SEED,
+        },
+        "rateless_config": {
+            "initial_cells": RATELESS.initial_cells,
+            "growth": RATELESS.growth,
+            "max_increments": RATELESS.max_increments,
+        },
+        "resumption": resume_rows,
+        "shedding": shed_rows,
+    }
+    return payload, "\n\n".join([resume_table.render(), shed_table.render()])
+
+
+def _check_contract(payload):
+    """The acceptance contract of the resilience PR."""
+    for row in payload["resumption"]:
+        assert row["resumed_bytes"] < row["scratch_bytes"], (
+            "a resumed stream must ship strictly fewer bytes than a "
+            f"from-scratch run (cut={row['cut_after_increments']})"
+        )
+    ratios = [row["ratio"] for row in payload["resumption"]]
+    assert all(
+        earlier >= later for earlier, later in zip(ratios, ratios[1:])
+    ), "the later the cut, the cheaper the retry"
+    shed = {row["mode"]: row for row in payload["shedding"]}
+    assert shed["shed"]["ok"] == shed["shed"]["clients"], (
+        "every resilient client must succeed despite shedding"
+    )
+    assert shed["shed"]["shed"] > 0, (
+        "a 1-slot server under a burst must shed at least one arrival"
+    )
+    assert shed["queue"]["shed"] == 0, (
+        "the unbounded-queue mode must never shed"
+    )
+
+
+def test_resilience_bench(benchmark, emit, emit_json):
+    """The recorded run: full cut sweep plus the shed-vs-queue burst."""
+    holder = {}
+
+    def run():
+        holder["payload"], holder["text"] = experiment()
+
+    benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    emit("b8_resilience", holder["text"])
+    emit_json("b8_resilience", holder["payload"])
+    _check_contract(holder["payload"])
+
+
+def test_resilience_smoke(emit, emit_json):
+    """CI smoke: one mid-stream cut and a small burst, same contract."""
+    payload, text = experiment(cut_points=(2,), clients=6)
+    emit("b8_resilience_smoke", text)
+    emit_json("b8_resilience_smoke", payload)
+    _check_contract(payload)
+
+
+if __name__ == "__main__":
+    print(experiment()[1])

@@ -74,8 +74,12 @@ from repro.errors import (
     DecodeFailure,
     ReconciliationFailure,
     ReproError,
+    RetryExhaustedError,
     SerializationError,
+    ServerOverloadedError,
     SessionError,
+    StaleResumeTokenError,
+    SyncRefusedError,
 )
 from repro.net.channel import Direction, LoopbackChannel, SimulatedChannel
 from repro.net.transcript import Transcript
@@ -109,8 +113,12 @@ __all__ = [
     "ReconcileResult",
     "ReconciliationFailure",
     "ReproError",
+    "RetryExhaustedError",
     "SerializationError",
+    "ServerOverloadedError",
     "SessionError",
+    "StaleResumeTokenError",
+    "SyncRefusedError",
     "ShardedIncrementalSketch",
     "ShardedReconciler",
     "ShardedResult",

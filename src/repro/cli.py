@@ -48,7 +48,13 @@ from repro.iblt.decode import DECODE_STRATEGIES
 from repro.net import codec
 from repro.scale import reconcile_sharded
 from repro.scale.executors import executors_available
-from repro.serve import DEFAULT_TIMEOUT, ReconciliationServer, sync_blocking
+from repro.serve import (
+    DEFAULT_TIMEOUT,
+    ReconciliationServer,
+    RetryPolicy,
+    resilient_sync,
+    sync_blocking,
+)
 from repro.workloads.geo import geo_pair
 from repro.workloads.sensors import sensor_pair
 from repro.workloads.synthetic import clustered_pair, perturbed_pair
@@ -152,6 +158,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-syncs", type=int, default=None, dest="max_syncs",
                        help="exit after this many sessions finish "
                             "(default: serve forever)")
+    serve.add_argument("--max-pending", type=int, default=None,
+                       dest="max_pending",
+                       help="shed arrivals with a typed RETRY_LATER refusal "
+                            "once this many validated connections are "
+                            "waiting for a slot (default: queue unboundedly)")
     serve.add_argument("--timeout", type=float, default=DEFAULT_TIMEOUT,
                        help="per-read timeout in seconds")
 
@@ -175,6 +186,15 @@ def _build_parser() -> argparse.ArgumentParser:
     syn.add_argument("--backend", **backend_kwargs)
     syn.add_argument("--wire-codec", **wire_codec_kwargs)
     syn.add_argument("--timeout", type=float, default=DEFAULT_TIMEOUT)
+    syn.add_argument("--retries", type=int, default=1,
+                     help="total sync attempts before giving up; transient "
+                          "failures back off and retry, and interrupted "
+                          "rateless streams resume instead of restarting "
+                          "(default: 1 = no retries)")
+    syn.add_argument("--retry-deadline", type=float, default=30.0,
+                     dest="retry_deadline",
+                     help="overall budget in seconds for the whole retry "
+                          "sequence (default: 30)")
     syn.add_argument("--output", type=Path, default=None,
                      help="write the repaired set to this JSON path")
     return parser
@@ -345,7 +365,8 @@ def cmd_serve(args) -> int:
     async def run() -> None:
         server = ReconciliationServer(
             config, points, host=args.host, port=args.port,
-            max_sessions=args.max_sessions, timeout=args.timeout,
+            max_sessions=args.max_sessions, max_pending=args.max_pending,
+            timeout=args.timeout,
         )
         async with server:
             host, port = server.address
@@ -376,10 +397,20 @@ def cmd_sync(args) -> int:
         delta=data["delta"], dimension=data["dimension"], k=args.k,
         seed=args.seed, backend=args.backend, shards=args.shards,
     )
-    result = sync_blocking(
-        args.host, args.port, config, data["bob"],
-        variant=variant, timeout=args.timeout,
-    )
+    if args.retries > 1:
+        policy = RetryPolicy(
+            attempts=args.retries, deadline=args.retry_deadline,
+            seed=args.seed,
+        )
+        result = asyncio.run(resilient_sync(
+            args.host, args.port, config, data["bob"],
+            variant=variant, timeout=args.timeout, policy=policy,
+        ))
+    else:
+        result = sync_blocking(
+            args.host, args.port, config, data["bob"],
+            variant=variant, timeout=args.timeout,
+        )
     print(f"synced against {args.host}:{args.port} ({variant})")
     print(f"message  : {result.transcript.describe()}")
     print(f"repair   : +{result.alice_surplus} centres, "

@@ -69,6 +69,64 @@ class SessionError(ReproError):
     """
 
 
+class SyncRefusedError(SessionError):
+    """The server refused this sync during the handshake.
+
+    Raised by the client when the server answers the hello with a typed
+    error frame — config-digest mismatch, unknown variant, incompatible
+    wire version.  Refusals are *fatal* for retry purposes: the same
+    hello will be refused again, so a retry policy must surface them
+    instead of burning attempts.
+    """
+
+
+class StaleResumeTokenError(SyncRefusedError):
+    """A rateless resume token was unknown, expired, or inconsistent.
+
+    Raised when a client presents a resume token the server no longer
+    holds (evicted from the bounded resume LRU, or issued by a previous
+    server process), or whose recorded config digest / increment
+    watermark does not match the resume request.  Unlike other refusals
+    this one is *recoverable by reset*: dropping the client-side resume
+    state and syncing again from scratch is expected to succeed.
+    """
+
+
+class ServerOverloadedError(SessionError):
+    """The server shed this sync because it is at capacity.
+
+    Carries the server's ``retry_after`` hint (seconds); a retrying
+    client must wait at least that long before its next attempt.
+
+    Attributes
+    ----------
+    retry_after:
+        Seconds the server asked the client to back off for.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class RetryExhaustedError(ReproError):
+    """A retry policy ran out of attempts (or deadline budget).
+
+    The final underlying failure is chained as ``__cause__``; the
+    per-attempt history travels in :attr:`attempts`.
+
+    Attributes
+    ----------
+    attempts:
+        Tuple of ``(attempt_index, error_type_name, verdict)`` records,
+        one per failed attempt, in order.
+    """
+
+    def __init__(self, message: str, attempts: tuple = ()):
+        super().__init__(message)
+        self.attempts = tuple(attempts)
+
+
 class CapacityExceeded(ReproError):
     """More items were inserted into a sketch than its sizing supports.
 

@@ -1,0 +1,542 @@
+"""Deterministic fault injection for every transport the sessions run on.
+
+Robustness work needs *reproducible* misfortune: a fault that appears in
+one CI run and vanishes in the next cannot be debugged, and a fault model
+that behaves differently per transport cannot certify the crash-only
+property ("every run ends in a correct repair or a typed error — never a
+hang, never a silent wrong answer").  This module therefore separates the
+*decision* of what goes wrong from the *application* of it:
+
+* :class:`FaultPlan` — a pure, stateless description.  The fate of frame
+  ``i`` travelling in direction ``d`` is a deterministic function of
+  ``(seed, d, i)`` alone (seeded :class:`random.Random` per slot, string
+  seeds hash via SHA-512 so ``PYTHONHASHSEED`` is irrelevant).  The same
+  plan object replays bit-identically across runs and transports.
+* :class:`FaultInjector` — one execution's counters plus the **fault
+  trace**: the ordered record of every non-trivial decision taken, the
+  artifact tests compare across transports and CI uploads on failure.
+* Three transport adapters, one per rung of the sans-I/O ladder:
+  :class:`FaultyChannel` + :func:`pump_faulty` for the synchronous
+  simulation, :class:`FaultyLoopbackChannel` for asyncio loopback, and
+  :class:`ChaosProxy` for real TCP (a frame-aware man-in-the-middle).
+
+Faults without a byte-level representation are normalised to what a TCP
+peer would observe: a *dropped* frame means the reader's deadline would
+expire and a *disconnect* means the stream dies, so the in-process
+adapters raise :class:`~repro.errors.SessionError` — the same type the
+TCP client surfaces — rather than deadlocking a driver that has no clock.
+
+This module is the I/O layer's test harness, deliberately outside the
+sans-I/O/protocol lint scopes, and is not re-exported from
+:mod:`repro.net` (import it as ``repro.net.faults``): it may import the
+serve-layer framing, which in turn imports this package.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import random
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ChannelError, ConfigError, SessionError
+from repro.net.channel import Direction, LoopbackChannel, SimulatedChannel
+
+#: Fault kinds a plan can inflict on one frame.
+class FaultKind(enum.Enum):
+    NONE = "none"
+    DROP = "drop"
+    TRUNCATE = "truncate"
+    CORRUPT = "corrupt"
+    DUPLICATE = "duplicate"
+    DELAY = "delay"
+    DISCONNECT = "disconnect"
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the plan decided for one ``(direction, index)`` slot.
+
+    ``a``/``b`` carry the kind's parameters: bytes kept for TRUNCATE,
+    offset/XOR-mask for CORRUPT, milliseconds for DELAY, zero otherwise.
+    """
+
+    direction: Direction
+    index: int
+    kind: FaultKind
+    a: int = 0
+    b: int = 0
+
+    def record(self) -> tuple:
+        """The trace entry: primitive, comparable, JSON-serialisable."""
+        return (self.direction.value, self.index, self.kind.value, self.a, self.b)
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """A decision applied to a concrete payload.
+
+    ``payloads`` is what the receiver gets: empty for a drop, one entry
+    normally, two for a duplicate.  ``disconnect`` means the connection
+    dies before this frame is delivered.
+    """
+
+    decision: FaultDecision
+    payloads: tuple[bytes, ...]
+    delay_s: float = 0.0
+    disconnect: bool = False
+
+
+def injected_error(decision: FaultDecision) -> str:
+    """The message in-process adapters raise for non-byte faults, phrased
+    as what a TCP endpoint would experience."""
+    where = f"{decision.direction.value} frame {decision.index}"
+    if decision.kind is FaultKind.DISCONNECT:
+        return f"injected fault: connection cut at {where}"
+    return (
+        f"injected fault: {where} dropped — the peer's read deadline "
+        "would expire waiting for it"
+    )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, transport-independent schedule of misfortune.
+
+    Each probability selects its fault kind for a frame slot; they are
+    evaluated on one uniform roll in a fixed order (drop, truncate,
+    corrupt, duplicate, delay), so the probabilities must sum to at most
+    1.  ``disconnect`` pins a hard connection cut to one exact
+    ``(direction, index)`` slot.  ``window`` bounds eligibility to the
+    first ``window`` frames per direction — with injector counters that
+    persist across reconnects, a bounded window is what lets a retrying
+    client eventually get a clean run.  ``only`` restricts probabilistic
+    faults to one direction (cross-transport tests fault the
+    server-to-client stream so the *client* observes the failure on
+    every transport).
+
+    The plan holds no state: :meth:`apply` is a pure function, so one
+    plan object (or an equal copy) drives the simulation, the loopback
+    run, and the chaos proxy to identical decisions.
+    """
+
+    seed: int | str = 0
+    drop: float = 0.0
+    truncate: float = 0.0
+    corrupt: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    delay_ms: int = 5
+    disconnect: tuple[Direction | str, int] | None = None
+    window: int | None = None
+    only: Direction | str | None = None
+
+    def __post_init__(self) -> None:
+        rates = {
+            "drop": self.drop, "truncate": self.truncate,
+            "corrupt": self.corrupt, "duplicate": self.duplicate,
+            "delay": self.delay,
+        }
+        for name, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"{name} probability {rate} not in [0, 1]")
+        if sum(rates.values()) > 1.0 + 1e-9:
+            raise ConfigError(
+                f"fault probabilities sum to {sum(rates.values())}, above 1"
+            )
+        if self.delay_ms < 0:
+            raise ConfigError(f"delay_ms must be >= 0, got {self.delay_ms}")
+        if self.window is not None and self.window < 0:
+            raise ConfigError(f"window must be >= 0, got {self.window}")
+        if self.only is not None and not isinstance(self.only, Direction):
+            try:
+                Direction(self.only)
+            except ValueError as exc:
+                raise ConfigError(
+                    f"unknown fault direction {self.only!r}"
+                ) from exc
+        if self.disconnect is not None:
+            direction, index = self.disconnect
+            if not isinstance(direction, Direction):
+                try:
+                    Direction(direction)
+                except ValueError as exc:
+                    raise ConfigError(
+                        f"unknown disconnect direction {direction!r}"
+                    ) from exc
+            if index < 0:
+                raise ConfigError(f"disconnect index must be >= 0, got {index}")
+
+    def apply(
+        self, direction: Direction | str, index: int, payload: bytes
+    ) -> FaultOutcome:
+        """Decide and apply this slot's fate to one payload (pure)."""
+        if not isinstance(direction, Direction):
+            direction = Direction(direction)
+        if self.disconnect is not None:
+            cut_direction, cut_index = self.disconnect
+            if not isinstance(cut_direction, Direction):
+                cut_direction = Direction(cut_direction)
+            if direction is cut_direction and index == cut_index:
+                decision = FaultDecision(direction, index, FaultKind.DISCONNECT)
+                return FaultOutcome(decision, (), disconnect=True)
+        kind = FaultKind.NONE
+        rng = random.Random(f"{self.seed}/{direction.value}/{index}")
+        eligible = self.window is None or index < self.window
+        if eligible and self.only is not None:
+            only = (
+                self.only if isinstance(self.only, Direction)
+                else Direction(self.only)
+            )
+            eligible = direction is only
+        if eligible:
+            roll = rng.random()
+            threshold = 0.0
+            for candidate, rate in (
+                (FaultKind.DROP, self.drop),
+                (FaultKind.TRUNCATE, self.truncate),
+                (FaultKind.CORRUPT, self.corrupt),
+                (FaultKind.DUPLICATE, self.duplicate),
+                (FaultKind.DELAY, self.delay),
+            ):
+                threshold += rate
+                if roll < threshold:
+                    kind = candidate
+                    break
+        if kind in (FaultKind.TRUNCATE, FaultKind.CORRUPT) and not payload:
+            kind = FaultKind.NONE  # nothing to mangle in an empty payload
+        if kind is FaultKind.DROP:
+            decision = FaultDecision(direction, index, kind)
+            return FaultOutcome(decision, ())
+        if kind is FaultKind.TRUNCATE:
+            keep = rng.randrange(len(payload))
+            decision = FaultDecision(direction, index, kind, a=keep)
+            return FaultOutcome(decision, (payload[:keep],))
+        if kind is FaultKind.CORRUPT:
+            offset = rng.randrange(len(payload))
+            mask = rng.randrange(1, 256)
+            mangled = bytearray(payload)
+            mangled[offset] ^= mask
+            decision = FaultDecision(direction, index, kind, a=offset, b=mask)
+            return FaultOutcome(decision, (bytes(mangled),))
+        if kind is FaultKind.DUPLICATE:
+            decision = FaultDecision(direction, index, kind)
+            return FaultOutcome(decision, (payload, payload))
+        if kind is FaultKind.DELAY:
+            decision = FaultDecision(direction, index, kind, a=self.delay_ms)
+            return FaultOutcome(
+                decision, (payload,), delay_s=self.delay_ms / 1000.0
+            )
+        return FaultOutcome(FaultDecision(direction, index, kind), (payload,))
+
+
+class FaultInjector:
+    """One execution of a plan: per-direction frame counters + the trace.
+
+    Counters persist for the injector's lifetime — a :class:`ChaosProxy`
+    shares one injector across reconnects, so frame indices (and
+    therefore fault decisions) keep advancing over a retry sequence
+    exactly as they do over one long simulated run.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.trace: list[tuple] = []
+        self._counts: dict[Direction, int] = {d: 0 for d in Direction}
+
+    def frames(self, direction: Direction) -> int:
+        """How many frames have passed through in ``direction``."""
+        return self._counts[direction]
+
+    def apply(self, direction: Direction, payload: bytes) -> FaultOutcome:
+        """Apply the plan to the next frame in ``direction``."""
+        index = self._counts[direction]
+        self._counts[direction] = index + 1
+        outcome = self.plan.apply(direction, index, payload)
+        if outcome.decision.kind is not FaultKind.NONE:
+            self.trace.append(outcome.decision.record())
+        return outcome
+
+
+def _outbound(output) -> tuple:
+    """Messages carried by a session's start/feed output (duck-typed so
+    this module never imports the session package at import time)."""
+    messages = getattr(output, "messages", None)
+    return tuple(output) if messages is None else tuple(messages)
+
+
+class FaultyChannel(SimulatedChannel):
+    """Synchronous recording channel that filters sends through a plan.
+
+    Records what the receiver actually sees (post-fault bytes).  Drops
+    and disconnects raise :class:`~repro.errors.SessionError` — the
+    synchronous simulation has no clock, so "the reader would time out"
+    collapses to an immediate typed error of the same type a TCP client
+    reports.  Drive it with :func:`pump_faulty`, which understands
+    multi-delivery (duplicates).
+    """
+
+    def __init__(self, plan: FaultPlan):
+        super().__init__()
+        self.injector = FaultInjector(plan)
+
+    @property
+    def trace(self) -> tuple:
+        return tuple(self.injector.trace)
+
+    def deliver(
+        self, direction: Direction, payload: bytes, label: str = ""
+    ) -> tuple[bytes, ...]:
+        """Pass one payload through the plan; returns delivered copies."""
+        outcome = self.injector.apply(direction, payload)
+        if outcome.disconnect or not outcome.payloads:
+            raise SessionError(injected_error(outcome.decision))
+        return tuple(
+            self.send(direction, delivered, label)
+            for delivered in outcome.payloads
+        )
+
+
+#: Direction each role transmits in (local copy: the session package must
+#: stay importable without this module and vice versa).
+_OUTBOUND_DIRECTION = {
+    "alice": Direction.ALICE_TO_BOB,
+    "bob": Direction.BOB_TO_ALICE,
+}
+
+
+def pump_faulty(alice, bob, channel: FaultyChannel) -> tuple[object, object]:
+    """Drive both endpoints over a fault-injecting channel to completion.
+
+    The fault-aware twin of :func:`repro.session.driver.pump`: a dropped
+    or cut frame raises :class:`~repro.errors.SessionError`, a duplicated
+    frame is fed to the receiver twice (which the session contract turns
+    into a typed error), and mangled bytes reach ``feed`` exactly as a
+    TCP receiver would see them.  Returns ``(alice.result, bob.result)``.
+    """
+    sessions = {"alice": alice, "bob": bob}
+    in_flight: deque = deque()
+    for role in ("alice", "bob"):
+        for message in _outbound(sessions[role].start()):
+            in_flight.append((role, message))
+    while in_flight:
+        sender, message = in_flight.popleft()
+        receiver = "bob" if sender == "alice" else "alice"
+        delivered = channel.deliver(
+            _OUTBOUND_DIRECTION[sender], message.payload, message.label
+        )
+        for payload in delivered:
+            for reply in _outbound(sessions[receiver].feed(payload)):
+                in_flight.append((receiver, reply))
+    if not (alice.done and bob.done):
+        stuck = [role for role, s in sessions.items() if not s.done]
+        raise SessionError(
+            f"protocol stalled under faults: no messages in flight but "
+            f"{', '.join(stuck)} still expect input"
+        )
+    return alice.result, bob.result
+
+
+#: Queue marker for an already-faulted duplicate copy: it must reach the
+#: receiver without being counted (or faulted) a second time, keeping
+#: frame indices aligned with the chaos proxy, which also applies the
+#: plan once per originating frame.
+_REPLAY = object()
+
+
+class FaultyLoopbackChannel(LoopbackChannel):
+    """Asyncio loopback channel that filters *receives* through a plan.
+
+    Faults are applied on the receiving side so a fault in either
+    direction surfaces in the task that would observe it over TCP.  A
+    drop or disconnect poisons the whole channel: every pending and
+    future receive raises :class:`~repro.errors.SessionError` with the
+    injected-fault message, so neither endpoint task can hang.  Delays
+    are real ``asyncio.sleep`` calls here.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        super().__init__()
+        self.injector = FaultInjector(plan)
+        self._failure: str | None = None
+
+    @property
+    def trace(self) -> tuple:
+        return tuple(self.injector.trace)
+
+    async def receive(self, direction: Direction) -> bytes:
+        if self._failure is not None:
+            raise SessionError(self._failure)
+        try:
+            payload = await super().receive(direction)
+        except ChannelError:
+            if self._failure is not None:
+                raise SessionError(self._failure) from None
+            raise
+        if isinstance(payload, tuple) and payload[0] is _REPLAY:
+            return payload[1]
+        outcome = self.injector.apply(direction, payload)
+        if outcome.disconnect or not outcome.payloads:
+            self._failure = injected_error(outcome.decision)
+            self.close()  # wake the peer task; it raises the same error
+            raise SessionError(self._failure)
+        if outcome.delay_s:
+            await asyncio.sleep(outcome.delay_s)
+        for extra in outcome.payloads[1:]:
+            self._queues[direction].put_nowait((_REPLAY, extra))
+        return outcome.payloads[0]
+
+
+class _ConnectionCut(Exception):
+    """Internal signal: the plan ordered a mid-stream disconnect."""
+
+
+class ChaosProxy:
+    """A frame-aware TCP man-in-the-middle applying a :class:`FaultPlan`.
+
+    Sits between a real client and a real
+    :class:`~repro.serve.service.ReconciliationServer`, reassembles the
+    length-prefixed frames in both directions, and gives each one to the
+    shared :class:`FaultInjector`.  The first ``handshake_frames`` frames
+    of each direction of *every* connection (hello / welcome) pass
+    untouched and uncounted, so fault indices line up with the in-process
+    transports, which have no handshake.  Injector counters span
+    reconnects: a retrying client advances through the plan instead of
+    replaying frame 0's fate forever.
+
+    Usable as an async context manager; ``port=0`` binds ephemerally::
+
+        async with ChaosProxy(host, port, plan) as proxy:
+            await sync(*proxy.address, config, points, ...)
+    """
+
+    CLIENT_TO_SERVER = Direction.BOB_TO_ALICE
+    SERVER_TO_CLIENT = Direction.ALICE_TO_BOB
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        plan: FaultPlan,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        handshake_frames: int = 1,
+    ):
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.injector = FaultInjector(plan)
+        self.host = host
+        self.port = port
+        self.handshake_frames = handshake_frames
+        self.connections = 0
+        self._server: asyncio.base_events.Server | None = None
+        self._handlers: set[asyncio.Task] = set()
+
+    @property
+    def trace(self) -> tuple:
+        return tuple(self.injector.trace)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.host, self.port
+
+    async def start(self) -> tuple[str, int]:
+        if self._server is not None:
+            raise SessionError("chaos proxy already started")
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.address
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+
+    async def __aenter__(self) -> "ChaosProxy":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def _handle(
+        self, client_reader: asyncio.StreamReader,
+        client_writer: asyncio.StreamWriter,
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        self.connections += 1
+        try:
+            upstream_reader, upstream_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port
+            )
+        except OSError:
+            client_writer.close()
+            return
+        pumps = [
+            asyncio.create_task(self._pump(
+                client_reader, upstream_writer, self.CLIENT_TO_SERVER
+            )),
+            asyncio.create_task(self._pump(
+                upstream_reader, client_writer, self.SERVER_TO_CLIENT
+            )),
+        ]
+        try:
+            await asyncio.gather(*pumps)
+        except (_ConnectionCut, ConnectionError, OSError, asyncio.CancelledError):
+            for pump in pumps:
+                pump.cancel()
+            await asyncio.gather(*pumps, return_exceptions=True)
+        finally:
+            for writer in (client_writer, upstream_writer):
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
+
+    async def _pump(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter,
+        direction: Direction,
+    ) -> None:
+        # Imported here, not at module top: repro.serve imports repro.net,
+        # so the reverse edge must not run during package initialisation.
+        from repro.serve.frames import FrameDecoder, write_frame
+
+        decoder = FrameDecoder()
+        skip = self.handshake_frames
+        while True:
+            chunk = await reader.read(65536)
+            if not chunk:
+                break
+            decoder.feed(chunk)
+            while (frame := decoder.next_frame()) is not None:
+                if skip > 0:
+                    skip -= 1
+                    await write_frame(writer, frame)
+                    continue
+                outcome = self.injector.apply(direction, frame)
+                if outcome.disconnect:
+                    # repro-lint: waive[RPL003] reason=internal control-flow
+                    # signal between _pump and _handle; never escapes _handle
+                    raise _ConnectionCut()
+                if outcome.delay_s:
+                    await asyncio.sleep(outcome.delay_s)
+                for payload in outcome.payloads:
+                    await write_frame(writer, payload)
+        # Clean EOF: half-close downstream so the peer sees it too, and
+        # keep the other direction flowing until its own EOF.
+        try:
+            if writer.can_write_eof():
+                writer.write_eof()
+        except (OSError, RuntimeError):
+            pass

@@ -17,14 +17,19 @@ from __future__ import annotations
 
 import asyncio
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 
 from repro.core.adaptive import AdaptiveConfig, AdaptiveReconciler
 from repro.core.config import ProtocolConfig
 from repro.core.protocol import HierarchicalReconciler
 from repro.core.rateless import RatelessConfig, RatelessReconciler
-from repro.errors import ReproError, SessionError
+from repro.errors import (
+    ReproError,
+    ServerOverloadedError,
+    SessionError,
+    StaleResumeTokenError,
+)
 from repro.net.channel import SimulatedChannel
 from repro.net.transcript import Transcript
 from repro.scale.engine import ShardedReconciler
@@ -37,9 +42,37 @@ from repro.session.driver import (
     OUTBOUND_DIRECTION,
     outbound_messages,
 )
+from repro.session.rateless import RatelessResumeState
 
 #: Default per-read timeout; generous for a LAN, finite so nothing hangs.
 DEFAULT_TIMEOUT = 30.0
+
+#: Default whole-connection budget on the server: handshake-to-hangup for
+#: one session.  No single slow (or stalling) peer may pin a worker slot
+#: longer than this, whatever the per-read timeout allows frame by frame.
+DEFAULT_SESSION_DEADLINE = 120.0
+
+#: How long a transport is given to acknowledge ``close()`` before the
+#: cleanup path stops waiting for it (the close itself is already issued;
+#: only the confirmation is abandoned).
+CLOSE_TIMEOUT = 5.0
+
+
+async def close_writer(writer: asyncio.StreamWriter) -> None:
+    """Close a transport and await the close with a bound, swallowing the
+    races every failure path shares.
+
+    The one cleanup used by every early return in the server and client:
+    ``close()`` then ``wait_closed()``, tolerating peers that vanished
+    first (``ConnectionError``/``OSError``) and transports that never
+    confirm (bounded by :data:`CLOSE_TIMEOUT`, so a cleanup can never
+    hang a handler that is already failing).
+    """
+    writer.close()
+    try:
+        await asyncio.wait_for(writer.wait_closed(), CLOSE_TIMEOUT)
+    except (ConnectionError, OSError, asyncio.TimeoutError):
+        pass
 
 
 async def pump_stream(
@@ -84,6 +117,8 @@ class SessionStats:
     ok: bool = False
     error: str = ""
     duration_s: float = 0.0
+    shed: bool = False
+    resumed_from: int | None = None
     transcript: Transcript | None = None
 
     def to_dict(self) -> dict:
@@ -93,10 +128,26 @@ class SessionStats:
             "ok": self.ok,
             "error": self.error,
             "duration_s": self.duration_s,
+            "shed": self.shed,
+            "resumed_from": self.resumed_from,
         }
         if self.transcript is not None:
             record["transcript"] = self.transcript.to_dict()
         return record
+
+
+@dataclass
+class _ResumeEntry:
+    """One rateless stream the server remembers how far it streamed.
+
+    ``sent`` is the absolute count of increments written on any
+    connection serving this stream; a resume request may continue at any
+    index up to it.  The config digest pins the public coins the stream
+    was encoded under — a drifted client must re-handshake from scratch.
+    """
+
+    digest: str
+    sent: int = 0
 
 
 class ReconciliationServer:
@@ -122,6 +173,10 @@ class ReconciliationServer:
         host: str = "127.0.0.1",
         port: int = 0,
         max_sessions: int = 64,
+        max_pending: int | None = None,
+        retry_after_hint: float = 0.05,
+        session_deadline: float | None = DEFAULT_SESSION_DEADLINE,
+        resume_capacity: int = 256,
         timeout: float | None = DEFAULT_TIMEOUT,
         stats_history: int = 1024,
     ):
@@ -132,20 +187,46 @@ class ReconciliationServer:
         self.host = host
         self.port = port
         self.max_sessions = max_sessions
+        #: Overload watermark: how many validated connections may *wait*
+        #: for a session slot before further arrivals are shed with a
+        #: typed ``RETRY_LATER`` refusal instead of queueing unboundedly.
+        #: ``None`` (the default) disables the watermark — every arrival
+        #: queues, the pre-resilience behaviour.
+        self.max_pending = max_pending
+        #: Base of the retry-after hint shipped in ``RETRY_LATER`` frames;
+        #: scaled by how deep the pending queue is when the shed happens.
+        self.retry_after_hint = retry_after_hint
+        #: Whole-connection budget (handshake to hangup) per session; the
+        #: per-read ``timeout`` bounds each frame, this bounds their sum.
+        self.session_deadline = session_deadline
         self.timeout = timeout
         #: The most recent ``stats_history`` sessions; a long-running
         #: daemon must not grow per-connection state without bound, so
         #: aggregate counters (see :meth:`summary`) are kept separately.
         self.stats: deque[SessionStats] = deque(maxlen=stats_history)
         self._totals = {
-            "sessions": 0, "ok": 0, "failed": 0, "bytes_out": 0, "bytes_in": 0,
+            "sessions": 0, "ok": 0, "failed": 0, "shed": 0, "resumed": 0,
+            "bytes_out": 0, "bytes_in": 0,
         }
         self._semaphore = asyncio.Semaphore(max_sessions)
+        self._waiting = 0
         self._server: asyncio.base_events.Server | None = None
         self._finished = asyncio.Condition()
         self._reconcilers: dict[str, object] = {}
         self._encoded: dict[str, bytes] = {}
         self._handlers: set[asyncio.Task] = set()
+        #: Bounded LRU of rateless resume entries: token -> watermark of
+        #: increments already streamed.  Alice's increments are a
+        #: deterministic function of (config, points, index), so resuming
+        #: needs no sketch state — only proof the token names a stream
+        #: *this* server actually served, and how far it got.
+        self.resume_capacity = resume_capacity
+        self._resume: OrderedDict[str, _ResumeEntry] = OrderedDict()
+        # Tokens must not validate across server incarnations (a restart
+        # may change the point set, silently corrupting a resumed peel);
+        # serve-layer code may read the clock, unlike protocol code.
+        self._resume_nonce = (time.time_ns() ^ id(self)) & 0xFFFFFFFF
+        self._resume_counter = 0
 
     # ------------------------------------------------------------ lifecycle
 
@@ -216,7 +297,7 @@ class ReconciliationServer:
             self.config, variant, self.adaptive, self.rateless
         )
 
-    def _session_for(self, variant: str) -> Session:
+    def _session_for(self, variant: str, start_index: int = 0) -> Session:
         """Build this connection's Alice session.
 
         Heavy per-variant state is computed once and shared across
@@ -249,7 +330,102 @@ class ReconciliationServer:
             if variant not in self._encoded:
                 self._encoded[variant] = reconciler.encode(self.points)
             kwargs["encoded"] = self._encoded[variant]
+        if variant == "rateless":
+            kwargs["start_index"] = start_index
         return make_session(variant, "alice", self.config, self.points, **kwargs)
+
+    # ------------------------------------------------------------ resilience
+
+    def _issue_resume_token(self, digest: str) -> str:
+        """Mint a resume token for a fresh rateless stream and register
+        its LRU entry (evicting the oldest stream beyond capacity)."""
+        self._resume_counter += 1
+        token = handshake.resume_token(self._resume_nonce, self._resume_counter)
+        self._resume[token] = _ResumeEntry(digest=digest)
+        while len(self._resume) > self.resume_capacity:
+            self._resume.popitem(last=False)
+        return token
+
+    def _lookup_resume(
+        self, token: str, digest: str, next_index: int
+    ) -> _ResumeEntry:
+        """Validate one resume request against the LRU; typed rejection.
+
+        Every way a token can be wrong — unparseable, unknown (evicted or
+        minted by another server process), config drift, or an index
+        beyond what was actually streamed — is a
+        :class:`~repro.errors.StaleResumeTokenError`, which the client
+        answers by dropping its resume state and restarting from scratch.
+        """
+        try:
+            handshake.parse_resume_token(token)
+        except ReproError as exc:
+            raise StaleResumeTokenError(
+                f"unparseable resume token: {exc}"
+            ) from exc
+        entry = self._resume.get(token)
+        if entry is None:
+            raise StaleResumeTokenError(
+                "unknown or expired resume token (evicted from the resume "
+                "window, or issued by a previous server process)"
+            )
+        if entry.digest != digest:
+            raise StaleResumeTokenError(
+                "resume token was issued under a different config digest"
+            )
+        if not 1 <= next_index <= entry.sent:
+            raise StaleResumeTokenError(
+                f"cannot resume at increment {next_index}: this stream "
+                f"served {entry.sent} increment(s)"
+            )
+        self._resume.move_to_end(token)
+        return entry
+
+    async def _acquire_slot(self) -> bool:
+        """Take one session slot, or refuse: ``False`` means shed.
+
+        A free slot is taken immediately.  A full server admits up to
+        ``max_pending`` validated waiters (bounded by the per-read
+        timeout — a waiter's client is itself waiting for the welcome
+        frame on a timeout, so queueing longer only serves dead peers);
+        beyond the watermark, arrivals are shed instead of queued.
+        """
+        if not self._semaphore.locked():
+            await self._semaphore.acquire()
+            return True
+        if self.max_pending is not None and self._waiting >= self.max_pending:
+            return False
+        self._waiting += 1
+        try:
+            if self.timeout is None or self.max_pending is None:
+                # No watermark: queue unboundedly, the pre-resilience
+                # discipline (the client's own timeout bounds the wait).
+                await self._semaphore.acquire()
+            else:
+                await asyncio.wait_for(self._semaphore.acquire(), self.timeout)
+        except asyncio.TimeoutError:
+            return False
+        finally:
+            self._waiting -= 1
+        return True
+
+    async def _pump_with_deadline(
+        self, session: Session, reader, writer, recorder
+    ) -> None:
+        """Run the session pump under the per-connection deadline budget."""
+        pump = pump_stream(
+            session, reader, writer, channel=recorder, timeout=self.timeout
+        )
+        if self.session_deadline is None:
+            await pump
+            return
+        try:
+            await asyncio.wait_for(pump, self.session_deadline)
+        except asyncio.TimeoutError as exc:
+            raise SessionError(
+                f"session exceeded the {self.session_deadline:g}s "
+                "per-connection deadline budget"
+            ) from exc
 
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -272,15 +448,15 @@ class ReconciliationServer:
             stats.error = f"unexpected {type(exc).__name__}: {exc}"
         finally:
             stats.duration_s = time.perf_counter() - started
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+            await close_writer(writer)
             if record:
                 async with self._finished:
                     self.stats.append(stats)
                     self._totals["sessions"] += 1
+                    if stats.shed:
+                        self._totals["shed"] += 1
+                    if stats.resumed_from is not None and not stats.shed:
+                        self._totals["resumed"] += 1
                     if stats.ok:
                         self._totals["ok"] += 1
                         if stats.transcript is not None:
@@ -314,8 +490,11 @@ class ReconciliationServer:
         hello = await read_frame(reader, timeout=self.timeout, allow_eof=True)
         if hello is None:
             return False
+        resume_entry = None
+        start_index = 0
+        token: str | None = None
         try:
-            variant, digest, _ = handshake.parse_hello(hello)
+            variant, digest, _, resume_req = handshake.parse_hello_record(hello)
             stats.variant = variant
             if variant not in VARIANTS:
                 raise SessionError(
@@ -329,30 +508,78 @@ class ReconciliationServer:
                     f"peer has {digest}, server has {expected} — the "
                     "public-coin ProtocolConfig must be identical"
                 )
+            if resume_req is not None:
+                if variant != "rateless":
+                    raise SessionError(
+                        "resume is only supported for the rateless variant, "
+                        f"not {variant!r}"
+                    )
+                token, start_index = resume_req
+                resume_entry = self._lookup_resume(token, digest, start_index)
+                stats.resumed_from = start_index
         except ReproError as exc:
             # Refuse loudly (typed error on the client) before closing.  A
             # peer that already vanished must not mask the typed refusal
             # with its connection error.
+            code = (
+                handshake.STALE_RESUME_CODE
+                if isinstance(exc, StaleResumeTokenError) else None
+            )
             try:
                 await write_frame(
-                    writer, handshake.error_bytes(str(exc)),
+                    writer, handshake.error_bytes(str(exc), code=code),
                     timeout=self.timeout,
                 )
             except (ConnectionError, OSError, SessionError):
                 pass
             raise
-        async with self._semaphore:
+        if not await self._acquire_slot():
+            # Overload shedding: a typed RETRY_LATER refusal with a hint
+            # proportional to the backlog, instead of unbounded queueing.
+            retry_after = self.retry_after_hint * (1 + self._waiting)
+            stats.shed = True
+            try:
+                await write_frame(
+                    writer, handshake.retry_later_bytes(retry_after),
+                    timeout=self.timeout,
+                )
+            except (ConnectionError, OSError, SessionError):
+                pass
+            raise ServerOverloadedError(
+                f"shed: {self.max_sessions} session(s) active and "
+                f"{self._waiting} pending (watermark {self.max_pending}); "
+                f"asked the client to retry after {retry_after:g}s",
+                retry_after=retry_after,
+            )
+        try:
+            if variant == "rateless" and token is None:
+                token = self._issue_resume_token(expected)
+                resume_entry = self._resume[token]
             await write_frame(
-                writer, handshake.welcome_bytes(variant, expected),
+                writer,
+                handshake.welcome_bytes(
+                    variant, expected, token=token,
+                    resume_from=stats.resumed_from,
+                ),
                 timeout=self.timeout,
             )
             recorder = SimulatedChannel()
-            session = self._session_for(variant)
-            with session:
-                await pump_stream(
-                    session, reader, writer,
-                    channel=recorder, timeout=self.timeout,
-                )
+            session = self._session_for(variant, start_index=start_index)
+            try:
+                with session:
+                    await self._pump_with_deadline(
+                        session, reader, writer, recorder
+                    )
+            finally:
+                if resume_entry is not None:
+                    # Even a failed pump advances the watermark: whatever
+                    # was written may already sit in the client's peel.
+                    resume_entry.sent = max(
+                        resume_entry.sent,
+                        getattr(session, "sent_increments", 0),
+                    )
+        finally:
+            self._semaphore.release()
         stats.ok = True
         stats.transcript = Transcript.from_channel(recorder)
         return True
@@ -374,6 +601,7 @@ async def sync(
     channel: SimulatedChannel | None = None,
     timeout: float | None = DEFAULT_TIMEOUT,
     reconciler=None,
+    resume: RatelessResumeState | None = None,
 ):
     """Sync this process's points (as Bob) against a server (Alice).
 
@@ -381,17 +609,30 @@ async def sync(
     (:class:`~repro.core.protocol.ReconcileResult` or
     :class:`~repro.scale.engine.ShardedResult`) with a measured transcript
     attached.  Handshake refusals, disconnects, and timeouts raise
-    :class:`~repro.errors.SessionError`.
+    :class:`~repro.errors.SessionError`; an overloaded server raises
+    :class:`~repro.errors.ServerOverloadedError` carrying its
+    retry-after hint.
 
     ``reconciler`` lets a caller syncing repeatedly with one config reuse
     the variant's engine (grid construction, shard executors) across
     calls instead of rebuilding it per sync; it must match ``config`` and
     ``variant``.  A sharded reconciler passed in stays owned by the
     caller — this function never closes it.
+
+    ``resume`` (rateless only) carries Bob's peel state across calls: a
+    sync that dies mid-stream leaves the increments it already fed in
+    ``resume``, and the next call with the same object reconnects with a
+    resume request so the server streams only the remaining increments.
+    :func:`repro.serve.resilience.resilient_sync` manages this loop.
     """
     if variant not in VARIANTS:
         raise SessionError(
             f"unknown protocol variant {variant!r}; expected one of {VARIANTS}"
+        )
+    if resume is not None and variant != "rateless":
+        raise SessionError(
+            f"resume state is only supported for the rateless variant, "
+            f"not {variant!r}"
         )
     recorder = channel if channel is not None else SimulatedChannel()
     first_message = len(recorder.messages)
@@ -412,16 +653,25 @@ async def sync(
     except OSError as exc:
         raise SessionError(f"cannot reach {host}:{port}: {exc}") from exc
     try:
+        resume_req = None
+        if resume is not None and resume.in_progress:
+            resume_req = (resume.token, resume.next_index)
         await write_frame(
-            writer, handshake.hello_bytes(variant, digest), timeout=timeout
+            writer,
+            handshake.hello_bytes(variant, digest, resume=resume_req),
+            timeout=timeout,
         )
         welcome = await read_frame(reader, timeout=timeout)
-        handshake.parse_welcome(welcome)
+        record = handshake.parse_welcome(welcome)
+        if resume is not None and isinstance(record.get("token"), str):
+            resume.token = record["token"]
         kwargs = {"strategy": strategy}
         if variant == "adaptive":
             kwargs["adaptive"] = adaptive
         if variant == "rateless":
             kwargs["rateless"] = rateless
+            if resume is not None:
+                kwargs["resume"] = resume
         if reconciler is not None:
             kwargs["reconciler"] = reconciler
         session = make_session(variant, "bob", config, points, **kwargs)
@@ -434,11 +684,7 @@ async def sync(
             f"connection to {host}:{port} lost mid-session: {exc}"
         ) from exc
     finally:
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
+        await close_writer(writer)
     result.transcript = Transcript.from_messages(
         recorder.messages[first_message:]
     )

@@ -14,7 +14,11 @@ from repro.session.adaptive import AdaptiveAliceSession, AdaptiveBobSession
 from repro.session.base import Done, OutboundMessage, Session
 from repro.session.driver import pump, run_async
 from repro.session.one_round import OneRoundAliceSession, OneRoundBobSession
-from repro.session.rateless import RatelessAliceSession, RatelessBobSession
+from repro.session.rateless import (
+    RatelessAliceSession,
+    RatelessBobSession,
+    RatelessResumeState,
+)
 from repro.session.sharded import ShardedSession
 
 #: Variant names accepted by the session factories and the serve handshake.
@@ -25,7 +29,9 @@ def make_session(variant: str, role: str, config, points, **kwargs) -> Session:
     """Build the session for one endpoint of one variant.
 
     ``kwargs`` are forwarded to the variant's constructor (``strategy``,
-    ``adaptive``, ``rateless``, ``reconciler``).  Unknown variants raise
+    ``adaptive``, ``rateless``, ``reconciler``, and for the rateless
+    variant ``start_index`` on Alice / ``resume`` on Bob).  Unknown
+    variants raise
     :class:`~repro.errors.SessionError` so a bad handshake fails typed.
     """
     from repro.errors import SessionError
@@ -61,6 +67,7 @@ __all__ = [
     "OutboundMessage",
     "RatelessAliceSession",
     "RatelessBobSession",
+    "RatelessResumeState",
     "Session",
     "ShardedSession",
     "VARIANTS",

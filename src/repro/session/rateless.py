@@ -30,8 +30,55 @@ CELLS_LABEL = "rateless-cells"
 ACK_LABEL = "rateless-ack"
 
 
+class RatelessResumeState:
+    """Client-held survivor of an interrupted rateless sync.
+
+    The rateless stream is the one protocol where a broken connection
+    does not have to forfeit the transferred bytes: every increment Bob
+    already fed lives on in his resumable
+    :class:`~repro.iblt.decode.PeelState`.  This object carries exactly
+    that across connection attempts — the peel state, the index of the
+    next increment Bob expects, and the server-issued resume token — so
+    a retrying client (:func:`repro.serve.resilience.resilient_sync`)
+    can reconnect and receive only the *remaining* increments.
+
+    Purely data, no I/O: the session mutates it as increments are fed;
+    the transport reads :attr:`token` / :attr:`next_index` to build the
+    resume request and stores the token the server hands back.
+    """
+
+    def __init__(self) -> None:
+        self.token: str | None = None
+        self.peel: PeelState | None = None
+        self.next_index: int = 0
+        self.completed: bool = False
+
+    @property
+    def in_progress(self) -> bool:
+        """True when there is transferred work worth resuming."""
+        return (
+            not self.completed
+            and self.token is not None
+            and self.peel is not None
+            and self.next_index > 0
+        )
+
+    def reset(self) -> None:
+        """Drop all resume state (e.g. after a stale-token refusal)."""
+        self.token = None
+        self.peel = None
+        self.next_index = 0
+        self.completed = False
+
+
 class RatelessAliceSession(Session):
-    """Alice's side: stream increments until Bob says STOP."""
+    """Alice's side: stream increments until Bob says STOP.
+
+    ``start_index`` makes the session open with increment ``k`` instead
+    of 0 — the server's resume path: her increments are a deterministic
+    function of (config, points, index), so continuing a broken stream
+    needs no per-connection sketch state, only the index to speak next.
+    """
 
     variant = "rateless"
     role = "alice"
@@ -42,19 +89,32 @@ class RatelessAliceSession(Session):
         points,
         rateless: RatelessConfig | None = None,
         reconciler: RatelessReconciler | None = None,
+        start_index: int = 0,
     ):
         super().__init__()
         self.config = config
         self._points = points
         self._reconciler = reconciler or RatelessReconciler(config, rateless)
-        self._sent = 0
+        cap = self._reconciler.rateless.max_increments
+        if not 0 <= start_index < cap:
+            raise ReconciliationFailure(
+                f"cannot resume the rateless stream at increment "
+                f"{start_index}; valid indices are 0..{cap - 1}"
+            )
+        self._sent = start_index
+
+    @property
+    def sent_increments(self) -> int:
+        """Absolute number of increments streamed so far (resume-aware):
+        the next increment this session would send."""
+        return self._sent
 
     def inbound_label(self, index: int | None = None) -> str:
         return ACK_LABEL
 
     def _start(self) -> SessionOutput:
-        payload = self._reconciler.alice_increment(self._points, 0)
-        self._sent = 1
+        payload = self._reconciler.alice_increment(self._points, self._sent)
+        self._sent += 1
         return [OutboundMessage(payload, CELLS_LABEL)]
 
     def _feed(self, payload: bytes) -> SessionOutput:
@@ -84,15 +144,27 @@ class RatelessBobSession(Session):
         rateless: RatelessConfig | None = None,
         strategy: str = "occurrence",
         reconciler: RatelessReconciler | None = None,
+        resume: RatelessResumeState | None = None,
     ):
         super().__init__()
         self.config = config
         self._points = points
         self._strategy = strategy
         self._reconciler = reconciler or RatelessReconciler(config, rateless)
-        self._state = PeelState(strategy=config.decode_strategy)
+        self._resume = resume
+        if resume is not None and resume.in_progress:
+            # Continue the interrupted stream: the peel state already
+            # holds every segment fed before the connection died.
+            self._state = resume.peel
+            self._received = resume.next_index
+        else:
+            self._state = PeelState(strategy=config.decode_strategy)
+            self._received = 0
+            if resume is not None:
+                resume.peel = self._state
+                resume.next_index = 0
+                resume.completed = False
         self._keys = None
-        self._received = 0
 
     def inbound_label(self, index: int | None = None) -> str:
         return CELLS_LABEL
@@ -106,6 +178,10 @@ class RatelessBobSession(Session):
         bob_segment = self._reconciler.segment_table(self._keys, self._received)
         self._received += 1
         self._state.extend(alice_segment.subtract(bob_segment))
+        if self._resume is not None:
+            # Checkpoint only after the segment is fully absorbed: a feed
+            # that raised mid-parse must leave the resume point unmoved.
+            self._resume.next_index = self._received
         if self._state.failed:
             raise ReconciliationFailure(
                 "rateless peel aborted: the stream decoded to an implausibly "
@@ -123,6 +199,8 @@ class RatelessBobSession(Session):
             result = self._reconciler.bob_repair(
                 self._points, peeled.alice_keys, peeled.bob_keys, self._strategy
             )
+            if self._resume is not None:
+                self._resume.completed = True
             return Done(
                 messages=(OutboundMessage(ack_bytes(stop=True), ACK_LABEL),),
                 result=result,

@@ -1,0 +1,187 @@
+"""Chaos matrix: the crash-only property over every variant.
+
+Every fault plan crossed with every protocol variant, driven over a real
+TCP connection through the chaos proxy.  The property under test is
+crash-only behaviour: **each run either produces the correct repaired
+multiset or raises a typed** :class:`~repro.errors.ReproError` **within
+the scenario deadline** — never a hang, never a silently wrong answer.
+
+When a cell of the matrix fails, the full reproduction recipe (plan
+fields, fault trace, variant, observed outcome) is dumped as JSON into
+``$CHAOS_TRACE_DIR`` (when set) so CI can upload it as an artifact; the
+plan is a pure function of its seed, so the dump replays the failure
+bit-identically.
+"""
+
+import asyncio
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.rateless import RatelessConfig
+from repro.errors import ReproError
+from repro.net.channel import Direction
+from repro.net.faults import ChaosProxy, FaultPlan
+from repro.serve import ReconciliationServer, sync
+from repro.workloads.synthetic import perturbed_pair
+
+DELTA = 2048
+#: Hard hang guard: every cell of the matrix must finish within this.
+SCENARIO_TIMEOUT = 20.0
+#: Client-side per-read timeout: small, so dropped frames surface as a
+#: typed timeout quickly instead of stalling a cell.
+CLIENT_TIMEOUT = 0.7
+#: Server-side per-read timeout: outlives the client's so the server is
+#: never the reason a healthy run fails, yet bounded so dead peers
+#: cannot pin handler tasks past the scenario guard.
+SERVER_TIMEOUT = 1.5
+
+CONFIG = ProtocolConfig(delta=DELTA, dimension=2, k=6, seed=9)
+RATELESS = RatelessConfig(initial_cells=8)
+VARIANTS = ("one-round", "adaptive", "sharded", "rateless")
+
+#: The fault plans of the matrix.  Probabilistic plans roll per frame in
+#: both directions; the pinned plan cuts the first post-handshake server
+#: frame, which every variant must survive with a typed error.
+PLANS = [
+    ("drop", FaultPlan(seed="mx-drop", drop=0.1)),
+    ("truncate", FaultPlan(seed="mx-trunc", truncate=0.1)),
+    ("corrupt", FaultPlan(seed="mx-corrupt", corrupt=0.15)),
+    ("duplicate", FaultPlan(seed="mx-dup", duplicate=0.1)),
+    ("mixed", FaultPlan(
+        seed="mx-mixed", drop=0.05, truncate=0.05, corrupt=0.05,
+        duplicate=0.05, delay=0.1, delay_ms=1,
+    )),
+    ("cut", FaultPlan(seed="mx-cut", disconnect=(Direction.ALICE_TO_BOB, 0))),
+]
+
+
+def _workload():
+    return perturbed_pair(3, 120, DELTA, 2, 8, 2)
+
+
+def _plan_record(plan: FaultPlan) -> dict:
+    record = dataclasses.asdict(plan)
+    if record["disconnect"] is not None:
+        direction, index = record["disconnect"]
+        record["disconnect"] = [getattr(direction, "value", direction), index]
+    if record["only"] is not None:
+        record["only"] = getattr(record["only"], "value", record["only"])
+    return record
+
+
+def _dump_trace(name: str, variant: str, plan: FaultPlan, trace, outcome):
+    """Write the reproduction recipe for one failed cell (CI artifact)."""
+    trace_dir = os.environ.get("CHAOS_TRACE_DIR")
+    if not trace_dir:
+        return
+    os.makedirs(trace_dir, exist_ok=True)
+    path = os.path.join(trace_dir, f"chaos_{name}_{variant}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "plan_name": name,
+                "variant": variant,
+                "plan": _plan_record(plan),
+                "trace": [list(entry) for entry in trace],
+                "outcome": outcome,
+            },
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+
+
+_CLEAN: dict[str, list] = {}
+
+
+def _clean_repaired(variant: str) -> list:
+    """The correct repaired multiset per variant, via a fault-free TCP
+    run (computed once, cached for the whole matrix)."""
+    if variant not in _CLEAN:
+        workload = _workload()
+
+        async def scenario():
+            async with ReconciliationServer(
+                CONFIG, workload.alice, rateless=RATELESS
+            ) as server:
+                return await sync(
+                    *server.address, CONFIG, workload.bob,
+                    variant=variant, rateless=RATELESS, timeout=10,
+                )
+
+        result = asyncio.run(
+            asyncio.wait_for(scenario(), SCENARIO_TIMEOUT)
+        )
+        _CLEAN[variant] = sorted(result.repaired)
+    return _CLEAN[variant]
+
+
+async def _chaos_cell(variant: str, plan: FaultPlan):
+    """Run one cell of the matrix; returns (outcome, trace)."""
+    workload = _workload()
+    async with ReconciliationServer(
+        CONFIG, workload.alice, rateless=RATELESS, timeout=SERVER_TIMEOUT
+    ) as server:
+        async with ChaosProxy(*server.address, plan) as proxy:
+            try:
+                result = await sync(
+                    *proxy.address, CONFIG, workload.bob,
+                    variant=variant, rateless=RATELESS,
+                    timeout=CLIENT_TIMEOUT,
+                )
+                outcome = ("ok", sorted(result.repaired))
+            except ReproError as exc:
+                outcome = ("error", type(exc).__name__, str(exc))
+        return outcome, proxy.trace
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize(
+    "name,plan", PLANS, ids=[name for name, _ in PLANS]
+)
+class TestChaosMatrix:
+    def test_crash_only(self, name, plan, variant):
+        trace = ()
+        outcome = ("unknown",)
+        try:
+            outcome, trace = asyncio.run(
+                asyncio.wait_for(_chaos_cell(variant, plan), SCENARIO_TIMEOUT)
+            )
+        except asyncio.TimeoutError:
+            outcome = ("hang", f"exceeded the {SCENARIO_TIMEOUT:g}s guard")
+            _dump_trace(name, plan=plan, variant=variant, trace=trace,
+                        outcome=list(outcome))
+            pytest.fail(f"{name} x {variant}: scenario hung")
+        except Exception as exc:  # noqa: BLE001 — untyped escape = failure
+            outcome = ("untyped", type(exc).__name__, str(exc))
+            _dump_trace(name, plan=plan, variant=variant, trace=trace,
+                        outcome=list(outcome))
+            raise
+        try:
+            if outcome[0] == "ok":
+                # Never a wrong answer: a run that claims success must
+                # have repaired to exactly the clean multiset.
+                assert outcome[1] == _clean_repaired(variant)
+            else:
+                # Typed failure: acceptable crash-only outcome.
+                assert outcome[0] == "error"
+        except AssertionError:
+            _dump_trace(name, plan=plan, variant=variant, trace=trace,
+                        outcome=[outcome[0], str(outcome[1:])])
+            raise
+
+    def test_pinned_cut_always_observed(self, name, plan, variant):
+        """The pinned-disconnect plan is the one cell where the outcome
+        is fully determined: the first server frame after the welcome is
+        cut on every variant, so a typed error is guaranteed."""
+        if name != "cut":
+            pytest.skip("only the pinned-disconnect plan is deterministic")
+        outcome, trace = asyncio.run(
+            asyncio.wait_for(_chaos_cell(variant, plan), SCENARIO_TIMEOUT)
+        )
+        assert outcome[0] == "error", (variant, outcome)
+        assert ("A->B", 0, "disconnect", 0, 0) in trace

@@ -1,0 +1,313 @@
+"""Deterministic fault injection: plan purity and transport equivalence.
+
+Two contracts under test:
+
+1. **Plan determinism** — a :class:`~repro.net.faults.FaultPlan` is a
+   pure function of ``(seed, direction, index)``: replaying it yields
+   bit-identical decisions, independent of transport, process, or
+   ``PYTHONHASHSEED``.
+2. **Transport equivalence** — the same plan driven over the synchronous
+   simulation, the asyncio loopback channel, and a chaos TCP proxy
+   produces the *same fault trace* and the same client-observed outcome
+   (identical repaired multiset on success, identical error type on
+   failure).  This is what makes a chaos failure found on TCP
+   reproducible in-process with a debugger attached.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.rateless import RatelessConfig, reconcile_rateless
+from repro.errors import ConfigError, ReproError, SessionError
+from repro.net.channel import Direction
+from repro.net.faults import (
+    ChaosProxy,
+    FaultKind,
+    FaultPlan,
+    FaultyChannel,
+    FaultyLoopbackChannel,
+    pump_faulty,
+)
+from repro.serve import ReconciliationServer, sync
+from repro.session import run_async
+from repro.session.rateless import RatelessAliceSession, RatelessBobSession
+from repro.workloads.synthetic import perturbed_pair
+
+DELTA = 2048
+#: Every async scenario must finish well within this (never hang).
+SCENARIO_TIMEOUT = 20.0
+
+
+def run_scenario(coro):
+    async def bounded():
+        return await asyncio.wait_for(coro, SCENARIO_TIMEOUT)
+
+    return asyncio.run(bounded())
+
+
+def _config(**kwargs):
+    defaults = dict(delta=DELTA, dimension=2, k=6, seed=9)
+    defaults.update(kwargs)
+    return ProtocolConfig(**defaults)
+
+
+#: Small initial segment so the rateless stream needs several increments
+#: (multiple frames per direction = room for mid-stream faults).
+RATELESS = RatelessConfig(initial_cells=8)
+
+
+def _workload(seed=3):
+    return perturbed_pair(seed, 120, DELTA, 2, 8, 2)
+
+
+class TestFaultPlan:
+    def test_apply_is_pure_and_deterministic(self):
+        plan = FaultPlan(seed="trial", drop=0.2, corrupt=0.2, truncate=0.2)
+        payload = bytes(range(64))
+        for index in range(20):
+            for direction in Direction:
+                first = plan.apply(direction, index, payload)
+                again = plan.apply(direction, index, payload)
+                by_value = plan.apply(direction.value, index, payload)
+                assert first == again == by_value
+
+    def test_equal_plans_decide_identically(self):
+        a = FaultPlan(seed=77, drop=0.3, delay=0.3)
+        b = FaultPlan(seed=77, drop=0.3, delay=0.3)
+        payload = b"increment bytes"
+        decisions_a = [
+            a.apply(d, i, payload).decision.record()
+            for d in Direction for i in range(30)
+        ]
+        decisions_b = [
+            b.apply(d, i, payload).decision.record()
+            for d in Direction for i in range(30)
+        ]
+        assert decisions_a == decisions_b
+        assert any(r[2] != "none" for r in decisions_a), "plan never fired"
+
+    def test_different_seeds_diverge(self):
+        payload = b"x" * 40
+        a = [
+            FaultPlan(seed="one", drop=0.5).apply(d, i, payload).decision.kind
+            for d in Direction for i in range(20)
+        ]
+        b = [
+            FaultPlan(seed="two", drop=0.5).apply(d, i, payload).decision.kind
+            for d in Direction for i in range(20)
+        ]
+        assert a != b
+
+    def test_fault_shapes(self):
+        payload = bytes(range(50))
+        drop = FaultPlan(drop=1.0).apply(Direction.ALICE_TO_BOB, 0, payload)
+        assert drop.payloads == () and not drop.disconnect
+        cut = FaultPlan(truncate=1.0).apply(Direction.ALICE_TO_BOB, 0, payload)
+        (shorter,) = cut.payloads
+        assert len(shorter) < len(payload) and payload.startswith(shorter)
+        corrupt = FaultPlan(corrupt=1.0).apply(Direction.ALICE_TO_BOB, 0, payload)
+        (mangled,) = corrupt.payloads
+        assert len(mangled) == len(payload) and mangled != payload
+        dup = FaultPlan(duplicate=1.0).apply(Direction.ALICE_TO_BOB, 0, payload)
+        assert dup.payloads == (payload, payload)
+        delay = FaultPlan(delay=1.0, delay_ms=7).apply(
+            Direction.ALICE_TO_BOB, 0, payload
+        )
+        assert delay.payloads == (payload,) and delay.delay_s == 0.007
+        cut_plan = FaultPlan(disconnect=(Direction.BOB_TO_ALICE, 2))
+        cut_hit = cut_plan.apply(Direction.BOB_TO_ALICE, 2, payload)
+        assert cut_hit.disconnect and cut_hit.payloads == ()
+        cut_miss = cut_plan.apply(Direction.ALICE_TO_BOB, 2, payload)
+        assert not cut_miss.disconnect
+
+    def test_empty_payload_never_mangled(self):
+        for plan in (FaultPlan(truncate=1.0), FaultPlan(corrupt=1.0)):
+            outcome = plan.apply(Direction.ALICE_TO_BOB, 0, b"")
+            assert outcome.decision.kind is FaultKind.NONE
+            assert outcome.payloads == (b"",)
+
+    def test_window_bounds_eligibility(self):
+        plan = FaultPlan(drop=1.0, window=3)
+        for index in range(3):
+            assert not plan.apply(Direction.ALICE_TO_BOB, index, b"p").payloads
+        for index in range(3, 10):
+            assert plan.apply(Direction.ALICE_TO_BOB, index, b"p").payloads
+
+    def test_only_restricts_direction(self):
+        plan = FaultPlan(drop=1.0, only="A->B")
+        assert not plan.apply(Direction.ALICE_TO_BOB, 0, b"p").payloads
+        assert plan.apply(Direction.BOB_TO_ALICE, 0, b"p").payloads == (b"p",)
+
+    def test_validation_is_typed(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(drop=1.5)
+        with pytest.raises(ConfigError):
+            FaultPlan(drop=0.6, corrupt=0.6)
+        with pytest.raises(ConfigError):
+            FaultPlan(delay_ms=-1)
+        with pytest.raises(ConfigError):
+            FaultPlan(window=-1)
+        with pytest.raises(ConfigError):
+            FaultPlan(disconnect=("sideways", 0))
+        with pytest.raises(ConfigError):
+            FaultPlan(disconnect=("A->B", -1))
+        with pytest.raises(ConfigError):
+            FaultPlan(only="C->D")
+
+
+class TestFaultyChannel:
+    def test_faultless_plan_matches_clean_run(self):
+        workload = _workload()
+        config = _config()
+        clean = reconcile_rateless(
+            workload.alice, workload.bob, config, RATELESS
+        )
+        channel = FaultyChannel(FaultPlan())
+        _, result = pump_faulty(
+            RatelessAliceSession(config, workload.alice, RATELESS),
+            RatelessBobSession(config, workload.bob, RATELESS),
+            channel,
+        )
+        assert sorted(result.repaired) == sorted(clean.repaired)
+        assert channel.trace == ()
+        assert channel.total_bytes > 0
+
+    def test_drop_raises_session_error_with_location(self):
+        workload = _workload()
+        config = _config()
+        channel = FaultyChannel(FaultPlan(drop=1.0, window=1, only="A->B"))
+        with pytest.raises(SessionError, match="A->B frame 0 dropped"):
+            pump_faulty(
+                RatelessAliceSession(config, workload.alice, RATELESS),
+                RatelessBobSession(config, workload.bob, RATELESS),
+                channel,
+            )
+        assert channel.trace == (("A->B", 0, "drop", 0, 0),)
+
+
+# ---------------------------------------------------------------------------
+# Transport equivalence: same plan, same trace, same client outcome on the
+# synchronous simulation, the asyncio loopback, and a chaos TCP proxy.
+# Every plan here fires a bounded number of faults early in the stream, so
+# post-failure pipelining differences between transports cannot add trace
+# entries after the runs diverge.
+# ---------------------------------------------------------------------------
+
+IDENTITY_PLANS = [
+    ("drop", FaultPlan(seed="id-drop", drop=1.0, window=1, only="A->B")),
+    ("truncate",
+     FaultPlan(seed="id-trunc", truncate=1.0, window=1, only="A->B")),
+    ("corrupt",
+     FaultPlan(seed="id-corrupt", corrupt=1.0, window=1, only="A->B")),
+    ("duplicate",
+     FaultPlan(seed="id-dup", duplicate=1.0, window=1, only="A->B")),
+    ("delay",
+     FaultPlan(seed="id-delay", delay=1.0, delay_ms=1, window=2, only="A->B")),
+    ("disconnect",
+     FaultPlan(seed="id-cut", disconnect=(Direction.ALICE_TO_BOB, 1))),
+]
+
+
+def _sessions(config, workload):
+    return (
+        RatelessAliceSession(config, workload.alice, RATELESS),
+        RatelessBobSession(config, workload.bob, RATELESS),
+    )
+
+
+def _sim_outcome(plan, config, workload):
+    channel = FaultyChannel(plan)
+    alice, bob = _sessions(config, workload)
+    try:
+        _, result = pump_faulty(alice, bob, channel)
+        return ("ok", sorted(result.repaired)), channel.trace
+    except ReproError as exc:
+        return (type(exc).__name__,), channel.trace
+
+
+async def _loopback_outcome(plan, config, workload):
+    channel = FaultyLoopbackChannel(plan)
+    alice, bob = _sessions(config, workload)
+
+    async def drive(session):
+        try:
+            return await run_async(session, channel)
+        finally:
+            channel.close()  # a finished (or dead) endpoint wakes its peer
+
+    outcomes = await asyncio.gather(
+        drive(alice), drive(bob), return_exceptions=True
+    )
+    client_side = outcomes[1]
+    if isinstance(client_side, ReproError):
+        return (type(client_side).__name__,), channel.trace
+    assert not isinstance(client_side, BaseException), client_side
+    return ("ok", sorted(bob.result.repaired)), channel.trace
+
+
+async def _tcp_outcome(plan, config, workload):
+    async with ReconciliationServer(
+        config, workload.alice, rateless=RATELESS, timeout=2.0
+    ) as server:
+        async with ChaosProxy(*server.address, plan) as proxy:
+            try:
+                result = await sync(
+                    *proxy.address, config, workload.bob,
+                    variant="rateless", rateless=RATELESS, timeout=0.7,
+                )
+                outcome = ("ok", sorted(result.repaired))
+            except ReproError as exc:
+                outcome = (type(exc).__name__,)
+        return outcome, proxy.trace
+
+
+class TestTransportEquivalence:
+    @pytest.mark.parametrize(
+        "name,plan", IDENTITY_PLANS, ids=[n for n, _ in IDENTITY_PLANS]
+    )
+    def test_trace_and_outcome_identical_across_transports(self, name, plan):
+        workload = _workload()
+        config = _config()
+        sim_outcome, sim_trace = _sim_outcome(plan, config, workload)
+        loop_outcome, loop_trace = run_scenario(
+            _loopback_outcome(plan, config, workload)
+        )
+        tcp_outcome, tcp_trace = run_scenario(
+            _tcp_outcome(plan, config, workload)
+        )
+        assert sim_trace == loop_trace == tcp_trace, name
+        assert sim_outcome == loop_outcome == tcp_outcome, name
+        if name in ("delay",):
+            assert sim_outcome[0] == "ok"
+        else:
+            assert sim_outcome[0] != "ok", "fault should have been observed"
+
+    def test_faultless_proxy_is_transparent(self):
+        """With an empty plan the proxy forwards bytes unchanged: the
+        no-fault TCP path stays golden-transcript-identical."""
+        workload = _workload()
+        config = _config()
+        clean = reconcile_rateless(
+            workload.alice, workload.bob, config, RATELESS
+        )
+
+        async def scenario():
+            async with ReconciliationServer(
+                config, workload.alice, rateless=RATELESS
+            ) as server:
+                async with ChaosProxy(*server.address, FaultPlan()) as proxy:
+                    result = await sync(
+                        *proxy.address, config, workload.bob,
+                        variant="rateless", rateless=RATELESS, timeout=5,
+                    )
+                return result, proxy.trace
+
+        result, trace = run_scenario(scenario())
+        assert trace == ()
+        assert sorted(result.repaired) == sorted(clean.repaired)
+        assert (
+            result.transcript.alice_to_bob_bytes
+            == clean.transcript.alice_to_bob_bytes
+        )

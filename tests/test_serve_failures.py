@@ -13,7 +13,10 @@ import asyncio
 import pytest
 
 from repro.core.config import ProtocolConfig
-from repro.errors import SerializationError, SessionError
+from repro.core.rateless import RatelessConfig, reconcile_rateless
+from repro.errors import SerializationError, SessionError, StaleResumeTokenError
+from repro.net.channel import Direction
+from repro.net.faults import ChaosProxy, FaultPlan
 from repro.serve import (
     FrameDecoder,
     MAX_FRAME_BYTES,
@@ -24,6 +27,7 @@ from repro.serve import (
 )
 from repro.serve import handshake
 from repro.serve.frames import HEADER
+from repro.session.rateless import RatelessResumeState
 from repro.workloads.synthetic import perturbed_pair
 
 DELTA = 2048
@@ -343,5 +347,154 @@ class TestWireCorruption:
             await probe.wait_closed()
             with pytest.raises(SessionError, match="cannot reach"):
                 await sync("127.0.0.1", port, _config(), workload.bob, timeout=5)
+
+        run_scenario(scenario())
+
+
+class TestRatelessWireFaults:
+    """Rateless-specific wire faults: the streaming variant adds frame
+    kinds (increments, acks, resume handshakes) with their own failure
+    modes, injected here through the chaos proxy."""
+
+    RATELESS = RatelessConfig(initial_cells=8)
+
+    def _rateless_workload(self):
+        # A difference large enough that the stream spans several
+        # increments — room for faults *between* increment frames.
+        return perturbed_pair(3, 120, DELTA, 2, 8, 2)
+
+    def _server(self, workload, **kwargs):
+        kwargs.setdefault("rateless", self.RATELESS)
+        return ReconciliationServer(_config(), workload.alice, **kwargs)
+
+    async def _sync(self, address, workload, **kwargs):
+        kwargs.setdefault("timeout", 5)
+        return await sync(
+            *address, _config(), workload.bob,
+            variant="rateless", rateless=self.RATELESS, **kwargs,
+        )
+
+    def test_duplicated_increment_frame_is_typed(self):
+        """A replayed increment frame must fail the in-order check with a
+        typed SerializationError, never be double-counted into the peel."""
+        workload = self._rateless_workload()
+        plan = FaultPlan(duplicate=1.0, window=1, only="A->B")
+
+        async def scenario():
+            async with self._server(workload, timeout=1.5) as server:
+                async with ChaosProxy(*server.address, plan) as proxy:
+                    with pytest.raises(
+                        SerializationError, match="out of order"
+                    ):
+                        await self._sync(proxy.address, workload, timeout=0.7)
+                    return proxy.trace
+
+        trace = run_scenario(scenario())
+        assert ("A->B", 0, "duplicate", 0, 0) in trace
+
+    def test_dropped_increment_frame_times_out_typed(self):
+        workload = self._rateless_workload()
+        plan = FaultPlan(drop=1.0, window=1, only="A->B")
+
+        async def scenario():
+            async with self._server(workload, timeout=1.5) as server:
+                async with ChaosProxy(*server.address, plan) as proxy:
+                    with pytest.raises(SessionError, match="timed out"):
+                        await self._sync(proxy.address, workload, timeout=0.5)
+                    return proxy.trace
+
+        trace = run_scenario(scenario())
+        assert ("A->B", 0, "drop", 0, 0) in trace
+
+    def test_disconnect_between_increments_then_fresh_sync(self):
+        """A cut stream leaves the server consistent: the very next plain
+        (resume-free) sync over the same proxy completes correctly."""
+        workload = self._rateless_workload()
+        clean = reconcile_rateless(
+            workload.alice, workload.bob, _config(), self.RATELESS
+        )
+        plan = FaultPlan(disconnect=(Direction.ALICE_TO_BOB, 1))
+
+        async def scenario():
+            async with self._server(workload, timeout=2.0) as server:
+                async with ChaosProxy(*server.address, plan) as proxy:
+                    with pytest.raises(SessionError):
+                        await self._sync(proxy.address, workload, timeout=0.7)
+                    # The injector's frame counters are already past the
+                    # pinned cut, so the retry sails through untouched.
+                    result = await self._sync(proxy.address, workload)
+                await server.wait_for_sessions(2)
+                return result, server.summary()
+
+        result, summary = run_scenario(scenario())
+        assert sorted(result.repaired) == sorted(clean.repaired)
+        assert summary == {**summary, "ok": 1, "failed": 1, "resumed": 0}
+
+    def test_fabricated_resume_token_rejected_typed(self):
+        """A token the server never issued is refused as a typed
+        StaleResumeTokenError — and plain sync() must NOT auto-reset the
+        caller's resume state (that is resilient_sync's decision)."""
+        workload = self._rateless_workload()
+
+        async def scenario():
+            from repro.iblt.decode import PeelState
+
+            resume = RatelessResumeState()
+            resume.token = handshake.resume_token(0xBEEF, 3)
+            resume.peel = PeelState(strategy=_config().decode_strategy)
+            resume.next_index = 2
+            async with self._server(workload) as server:
+                with pytest.raises(StaleResumeTokenError, match="unknown"):
+                    await self._sync(server.address, workload, resume=resume)
+                await server.wait_for_sessions(1)
+                return resume, server.summary()
+
+        resume, summary = run_scenario(scenario())
+        assert resume.token is not None, "sync() must not reset resume state"
+        assert resume.next_index == 2
+        assert summary == {**summary, "ok": 0, "failed": 1, "resumed": 0}
+
+    def test_garbage_resume_token_rejected_typed(self):
+        workload = self._rateless_workload()
+
+        async def scenario():
+            from repro.iblt.decode import PeelState
+
+            resume = RatelessResumeState()
+            resume.token = "zzz-not-a-token"
+            resume.peel = PeelState(strategy=_config().decode_strategy)
+            resume.next_index = 1
+            async with self._server(workload) as server:
+                with pytest.raises(
+                    StaleResumeTokenError, match="unparseable"
+                ):
+                    await self._sync(server.address, workload, resume=resume)
+
+        run_scenario(scenario())
+
+    def test_resume_index_beyond_watermark_rejected_typed(self):
+        """A token the server DID issue cannot resume past what was
+        actually streamed on it."""
+        workload = self._rateless_workload()
+
+        async def scenario():
+            from repro.iblt.decode import PeelState
+
+            resume = RatelessResumeState()
+            async with self._server(workload) as server:
+                first = await self._sync(
+                    server.address, workload, resume=resume
+                )
+                assert resume.completed and resume.token is not None
+                # Forge an in-progress state far beyond the watermark.
+                beyond = RatelessResumeState()
+                beyond.token = resume.token
+                beyond.peel = PeelState(strategy=_config().decode_strategy)
+                beyond.next_index = 10_000
+                with pytest.raises(
+                    StaleResumeTokenError, match="cannot resume"
+                ):
+                    await self._sync(server.address, workload, resume=beyond)
+                return first
 
         run_scenario(scenario())
