@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import math
+import os
+
 from repro.analysis.methods import MethodRun
 from repro.analysis.stats import summarize
 from repro.workloads.base import WorkloadPair
@@ -10,6 +13,46 @@ from repro.workloads.base import WorkloadPair
 def run_once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def percentile(values, q: float) -> float:
+    """Linear-interpolated percentile (numpy's default / R type 7).
+
+    The ceil-index quantile the early benchmarks used jumps in steps of
+    one sample — at 96 syncs a p95 moves in ~1% increments and two runs
+    that differ by one slow sync report visibly different tails.  Linear
+    interpolation between the bracketing order statistics is the
+    schema-2 convention for every latency column.
+    """
+    if not values:
+        raise ValueError("percentile() of an empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    data = sorted(values)
+    position = (len(data) - 1) * q
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return data[low]
+    return data[low] + (data[high] - data[low]) * (position - low)
+
+
+def schema2_payload(experiment: str, *, rows, **extra) -> dict:
+    """Assemble a schema-2 benchmark record.
+
+    Schema 2 (BENCH_9 onward) adds provenance that schema-1 records
+    left implicit: a ``schema`` version field, the machine's
+    ``cpu_count``, and — per row, stamped by the benchmark — the worker
+    count that produced the numbers.  Consumers can then separate
+    "server got faster" from "server got more cores".
+    """
+    return {
+        "schema": 2,
+        "experiment": experiment,
+        "cpu_count": os.cpu_count(),
+        "rows": rows,
+        **extra,
+    }
 
 
 def kbits(bits: float) -> str:

@@ -30,6 +30,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import signal
 import sys
 from pathlib import Path
 
@@ -52,6 +53,7 @@ from repro.serve import (
     DEFAULT_TIMEOUT,
     ReconciliationServer,
     RetryPolicy,
+    WorkerPoolServer,
     resilient_sync,
     sync_blocking,
 )
@@ -146,9 +148,23 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shards", type=int, default=1,
                        help="shard count clients of the sharded variant "
                             "must match")
-    serve.add_argument("--workers", type=int, default=None)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="pre-fork server worker processes (default: 1 = "
+                            "single-process server, the exact pre-pool "
+                            "behaviour; N>1 forks N accept loops sharing "
+                            "one warmed core)")
+    serve.add_argument("--shard-workers", type=int, default=None,
+                       dest="shard_workers",
+                       help="shard-executor concurrency inside the sharded "
+                            "engine (default: from machine)")
     serve.add_argument("--executor", choices=("auto",) + executors_available(),
                        default="auto")
+    serve.add_argument("--offload", choices=("thread", "process"),
+                       default=None,
+                       help="run session compute off each accept loop: "
+                            "'thread' keeps the loop responsive, 'process' "
+                            "additionally moves heavy per-request encodes "
+                            "to a copy-on-write process pool")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=0,
                        help="TCP port (default: 0 = pick one and print it)")
@@ -358,25 +374,64 @@ def cmd_serve(args) -> int:
     config = ProtocolConfig(
         delta=data["delta"], dimension=data["dimension"], k=args.k,
         seed=args.seed, backend=args.backend, shards=args.shards,
-        workers=args.workers, executor=args.executor,
+        workers=args.shard_workers, executor=args.executor,
     )
     points = data["alice"]
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}")
+        return 2
 
     async def run() -> None:
-        server = ReconciliationServer(
-            config, points, host=args.host, port=args.port,
-            max_sessions=args.max_sessions, max_pending=args.max_pending,
-            timeout=args.timeout,
-        )
+        # --workers 1 is the exact single-process server; N>1 pre-forks N
+        # workers sharing one warmed copy-on-write core (serve/pool.py).
+        if args.workers > 1:
+            server = WorkerPoolServer(
+                config, points, workers=args.workers,
+                host=args.host, port=args.port,
+                max_sessions=args.max_sessions, max_pending=args.max_pending,
+                timeout=args.timeout, offload=args.offload,
+            )
+        else:
+            server = ReconciliationServer(
+                config, points, host=args.host, port=args.port,
+                max_sessions=args.max_sessions, max_pending=args.max_pending,
+                timeout=args.timeout, offload=args.offload,
+            )
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # platforms without loop signal handlers keep Ctrl-C only
         async with server:
             host, port = server.address
+            mode = (
+                f"{args.workers} workers, {server.mode}"
+                if args.workers > 1 else "single process"
+            )
             print(f"serving {len(points)} points on {host}:{port} "
-                  f"(k={args.k}, seed={args.seed}, shards={args.shards}; "
-                  f"variants: one-round, adaptive, sharded, rateless)", flush=True)
+                  f"(k={args.k}, seed={args.seed}, shards={args.shards}, "
+                  f"{mode}; "
+                  f"variants: one-round, adaptive, sharded, rateless)",
+                  flush=True)
+            waits = [asyncio.ensure_future(stop.wait())]
             if args.max_syncs is not None:
-                await server.wait_for_sessions(args.max_syncs)
+                waits.append(
+                    asyncio.ensure_future(
+                        server.wait_for_sessions(args.max_syncs)
+                    )
+                )
             else:
-                await server.serve_forever()
+                waits.append(asyncio.ensure_future(server.serve_forever()))
+            done, pending = await asyncio.wait(
+                waits, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+            # Leaving the context manager drains in-flight sessions (the
+            # pool SIGTERMs its workers, each draining up to the session
+            # deadline) before the summary below.
         summary = server.summary()
         print(f"served   : {summary['sessions']} session(s), "
               f"{summary['ok']} ok, {summary['failed']} failed")

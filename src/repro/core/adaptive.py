@@ -162,6 +162,22 @@ class AdaptiveReconciler:
             self._window_cache[key] = table
         return table
 
+    def warm_alice(self, alice_points) -> None:
+        """Prebuild Alice's cached per-level estimators for ``alice_points``.
+
+        Only meaningful with ``reuse_alice_state=True`` (no-op otherwise).
+        The serve layer calls this once before forking worker processes so
+        every worker inherits the estimators copy-on-write instead of each
+        paying the build on its first adaptive request.  Window tables are
+        *not* prewarmed — their shapes depend on client estimates — but
+        the estimator decode is the per-request cost this removes.
+        """
+        if not self._reuse:
+            return
+        self._check_reuse_points(alice_points)
+        for level in self.sampled_levels():
+            self._alice_estimator(alice_points, level)
+
     # -------------------------------------------------------------- round 1
 
     def bob_request(self, bob_points) -> bytes:

@@ -185,6 +185,20 @@ class RatelessReconciler:
             )
         return self._increments[index]
 
+    def warm_alice(self, alice_points, increments: int = 1) -> None:
+        """Prebuild Alice's keys and her first ``increments`` encoded
+        increment payloads for ``alice_points``.
+
+        Only meaningful with ``reuse_alice_state=True`` (no-op otherwise).
+        The serve layer calls this once before forking worker processes so
+        the hot opening increments are inherited copy-on-write; later
+        increments are still encoded (and cached) on demand.
+        """
+        if not self._reuse or increments < 1:
+            return
+        last = min(increments, self.rateless.max_increments) - 1
+        self.alice_increment(alice_points, last)
+
     def read_increment(self, payload: bytes, expected_index: int):
         """Parse one increment; returns ``(n_alice, segment_table)``."""
         reader = BitReader(payload)

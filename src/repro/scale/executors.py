@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import ConfigError
@@ -39,14 +39,40 @@ def default_workers(shards: int) -> int:
     return max(1, min(shards, os.cpu_count() or 1))
 
 
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists (POSIX).  Both the
+    copy-on-write process pool below and the serve layer's pre-fork
+    worker pool require it."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
 class ShardExecutor:
-    """Minimal executor interface the sharded engine relies on."""
+    """Minimal executor interface the sharded engine relies on.
+
+    ``map`` is the engine's bulk path; ``submit`` is the single-task path
+    the serve layer's off-loop session offload uses (it bridges the
+    returned :class:`~concurrent.futures.Future` onto asyncio with
+    ``asyncio.wrap_future``, so the interface stays I/O-free here).
+    """
 
     kind = "serial"
 
     def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
         """Apply ``fn`` to every task, preserving task order."""
         return [fn(task) for task in tasks]
+
+    def submit(self, fn: Callable[..., R], *args) -> "Future[R]":
+        """Run one task; returns a :class:`~concurrent.futures.Future`.
+
+        The serial base runs inline and hands back an already-resolved
+        future, so callers can treat every executor kind uniformly.
+        """
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as exc:  # noqa: BLE001 — futures carry any error
+            future.set_exception(exc)
+        return future
 
     def close(self) -> None:
         """Release pooled resources (idempotent)."""
@@ -75,6 +101,9 @@ class ThreadExecutor(ShardExecutor):
     def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
         return list(self._pool.map(fn, tasks))
 
+    def submit(self, fn: Callable[..., R], *args) -> "Future[R]":
+        return self._pool.submit(fn, *args)
+
     def close(self) -> None:
         self._pool.shutdown(wait=True)
 
@@ -85,19 +114,27 @@ class ProcessExecutor(ShardExecutor):
     Task functions and arguments must be picklable; the engine's shard
     tasks are module-level functions over configs, byte strings, and point
     sequences.
+
+    Under the ``fork`` start method the pool's children inherit the
+    parent's state at *pool creation time* copy-on-write — the serve
+    layer exploits this by installing its immutable core in a module
+    global before building the pool, so offloaded calls reference heavy
+    state by name instead of pickling it per task.
     """
 
     kind = "process"
 
     def __init__(self, workers: int):
-        methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context(
-            "fork" if "fork" in methods else None
+            "fork" if fork_available() else None
         )
         self._pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
 
     def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
         return list(self._pool.map(fn, tasks))
+
+    def submit(self, fn: Callable[..., R], *args) -> "Future[R]":
+        return self._pool.submit(fn, *args)
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)

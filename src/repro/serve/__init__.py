@@ -14,6 +14,13 @@ session resumption on top of the plain client; the server sheds load
 with typed ``RETRY_LATER`` refusals past its pending watermark and
 bounds every connection with a session deadline.  Deterministic fault
 injection for all of it lives in :mod:`repro.net.faults`.
+
+Scaling across cores is :mod:`repro.serve.pool`: a pre-fork
+:class:`~repro.serve.pool.WorkerPoolServer` whose N workers each run the
+single-process server over a shared listen address, inheriting one
+pre-warmed :class:`~repro.serve.service.ServerCore` copy-on-write, with
+optional off-loop session compute via
+:class:`~repro.serve.service.SessionOffload`.
 """
 
 from repro.serve.frames import (
@@ -24,6 +31,7 @@ from repro.serve.frames import (
     write_frame,
 )
 from repro.serve.handshake import WIRE_VERSION, config_digest
+from repro.serve.pool import WorkerPoolServer, reuse_port_available
 from repro.serve.resilience import (
     FATAL,
     RESET,
@@ -36,8 +44,11 @@ from repro.serve.service import (
     DEFAULT_SESSION_DEADLINE,
     DEFAULT_TIMEOUT,
     ReconciliationServer,
+    ServerCore,
+    SessionOffload,
     SessionStats,
     close_writer,
+    install_process_core,
     pump_stream,
     sync,
     sync_blocking,
@@ -53,15 +64,20 @@ __all__ = [
     "RETRY",
     "ReconciliationServer",
     "RetryPolicy",
+    "ServerCore",
+    "SessionOffload",
     "SessionStats",
     "WIRE_VERSION",
+    "WorkerPoolServer",
     "classify",
     "close_writer",
     "config_digest",
     "encode_frame",
+    "install_process_core",
     "pump_stream",
     "read_frame",
     "resilient_sync",
+    "reuse_port_available",
     "sync",
     "sync_blocking",
     "write_frame",

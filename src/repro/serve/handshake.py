@@ -205,13 +205,17 @@ def welcome_bytes(
     digest: str,
     token: str | None = None,
     resume_from: int | None = None,
+    worker: int | None = None,
 ) -> bytes:
     """The server's acceptance frame.
 
     Rateless sessions carry ``token`` — the resume handle the client
     presents if this connection dies mid-stream — and, when the server
     accepted a resume request, ``resume_from``, the increment index the
-    stream continues at.
+    stream continues at.  A pool worker additionally stamps its
+    ``worker`` index (diagnostic only — clients must not branch on it);
+    a plain single-process welcome (``worker=None``) stays byte-identical
+    to previous wire versions.
     """
     record = {
         "magic": MAGIC,
@@ -224,6 +228,8 @@ def welcome_bytes(
         record["token"] = token
     if resume_from is not None:
         record["resume_from"] = resume_from
+    if worker is not None:
+        record["worker"] = worker
     return _dump(record)
 
 

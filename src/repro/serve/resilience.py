@@ -30,6 +30,17 @@ attempts, so every increment that survived a dead connection keeps its
 value — total bytes over the whole retry sequence stay proportional to
 the *remaining* difference, the rateless promise extended across
 failures.
+
+Against a :class:`~repro.serve.pool.WorkerPoolServer` the same verdicts
+compose with per-worker state: a worker that crashes mid-session
+surfaces as a :data:`RETRY` (connection lost — the retry lands on a
+fresh worker); resume tokens live in each worker's private LRU, so a
+resumed connection that the kernel routes to a *sibling* worker is
+answered with :class:`~repro.errors.StaleResumeTokenError` → a
+:data:`RESET` that restarts the stream from scratch, trading the saved
+bytes for correctness.  ``RETRY_LATER`` hints are scaled from the
+shedding worker's own backlog — the one queue that client is actually
+stuck behind — never a global count.
 """
 
 from __future__ import annotations

@@ -6,16 +6,32 @@ Bob, repairing towards the server).  One sans-I/O session per connection,
 a semaphore bounding how many run concurrently, per-session stats, and a
 handshake that rejects peers whose public-coin config drifted.
 
-Concurrency model: frames move through the event loop; the session's own
-compute (sketch encode, peel, repair) runs inline on the loop.  Sessions
-therefore overlap on I/O and handshake latency, while CPU work serialises
-— the standard single-process asyncio trade; scale-out across cores is
-the sharded engine's and a process-per-port deployment's job.
+Concurrency model: frames move through the event loop; by default the
+session's own compute (sketch encode, peel, repair) runs inline on the
+loop, so sessions overlap on I/O and handshake latency while CPU work
+serialises — the standard single-process asyncio trade.  Two layers lift
+that cap:
+
+* :class:`SessionOffload` moves session compute off the loop (and, for
+  the per-request-heavy variants, onto a copy-on-write process pool from
+  :mod:`repro.scale.executors`), so one big sync cannot stall a worker's
+  accept/handshake/frame traffic.
+* :class:`~repro.serve.pool.WorkerPoolServer` pre-forks N processes each
+  running this server over a shared listen socket, scaling sessions/s
+  with the machine's cores.
+
+The split that makes the pool cheap is :class:`ServerCore`: everything a
+connection needs but never mutates — config, knobs, the point multiset,
+per-variant reconcilers and payload caches — lives there, built (and
+optionally pre-warmed) once in the parent so forked workers inherit it
+copy-on-write instead of rebuilding per process.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
+import socket
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass
@@ -25,10 +41,16 @@ from repro.core.config import ProtocolConfig
 from repro.core.protocol import HierarchicalReconciler
 from repro.core.rateless import RatelessConfig, RatelessReconciler
 from repro.errors import (
+    ConfigError,
     ReproError,
     ServerOverloadedError,
     SessionError,
     StaleResumeTokenError,
+)
+from repro.scale.executors import (
+    ProcessExecutor,
+    ThreadExecutor,
+    fork_available,
 )
 from repro.net.channel import SimulatedChannel
 from repro.net.transcript import Transcript
@@ -82,6 +104,7 @@ async def pump_stream(
     *,
     channel: SimulatedChannel | None = None,
     timeout: float | None = DEFAULT_TIMEOUT,
+    drive=None,
 ) -> object:
     """Drive one session endpoint over framed asyncio streams to completion.
 
@@ -89,9 +112,21 @@ async def pump_stream(
     labels a simulated run uses) onto ``channel``, which makes TCP runs
     transcript-comparable with :class:`~repro.net.channel.SimulatedChannel`
     runs.  Returns the session's result.
+
+    ``drive`` is the compute seam: ``None`` runs ``session.start()`` /
+    ``session.feed()`` inline on the event loop (the default, and the
+    client's behaviour); a server passes :meth:`SessionOffload.drive` to
+    run them off-loop so a heavy decode cannot stall its other
+    connections.  The session object itself is only ever touched by one
+    call at a time either way — the pump is strictly sequential.
     """
     out_direction = OUTBOUND_DIRECTION[session.role]
     in_direction = INBOUND_DIRECTION[session.role]
+
+    async def step(fn, *args):
+        if drive is None:
+            return fn(*args)
+        return await drive(fn, *args)
 
     async def ship(output) -> None:
         for message in outbound_messages(output):
@@ -99,12 +134,12 @@ async def pump_stream(
                 channel.send(out_direction, message.payload, message.label)
             await write_frame(writer, message.payload, timeout=timeout)
 
-    await ship(session.start())
+    await ship(await step(session.start))
     while not session.done:
         payload = await read_frame(reader, timeout=timeout)
         if channel is not None:
             channel.send(in_direction, payload, session.inbound_label())
-        await ship(session.feed(payload))
+        await ship(await step(session.feed, payload))
     return session.result
 
 
@@ -150,6 +185,271 @@ class _ResumeEntry:
     sent: int = 0
 
 
+class ServerCore:
+    """The immutable, shareable half of a reconciliation server.
+
+    Everything a connection needs but never mutates lives here: the
+    public-coin configs, the reference point multiset, the per-variant
+    reconcilers (grids, Alice's reused estimator/window state, the
+    rateless increment cache) and the pre-encoded one-way payloads.
+    Per-connection *mutable* state — the semaphore, stats, the resume-token
+    LRU — stays on :class:`ReconciliationServer`.
+
+    The split exists for the pre-fork pool: :meth:`warm` builds every
+    cache once in the parent process, so forked workers inherit them
+    copy-on-write instead of re-encoding the point set N times.  After a
+    warm the caches are only ever *read* on the hot path, so sharing one
+    core across workers (or across several servers in one process, as the
+    differential tests do) is safe.
+    """
+
+    def __init__(
+        self,
+        config: ProtocolConfig,
+        points,
+        *,
+        adaptive: AdaptiveConfig | None = None,
+        rateless: RatelessConfig | None = None,
+    ):
+        self.config = config
+        self.adaptive = adaptive or AdaptiveConfig()
+        self.rateless = rateless or RatelessConfig()
+        self.points = points
+        self._reconcilers: dict[str, object] = {}
+        self._encoded: dict[str, bytes] = {}
+        self._digests: dict[str, str] = {}
+
+    def digest(self, variant: str) -> str:
+        """The config digest this core expects for ``variant`` (cached —
+        identical in every worker, so the handshake is digest-stable
+        across the pool)."""
+        if variant not in self._digests:
+            self._digests[variant] = handshake.config_digest(
+                self.config, variant, self.adaptive, self.rateless
+            )
+        return self._digests[variant]
+
+    def reconciler(self, variant: str):
+        """The shared per-variant engine (built on first use).
+
+        The adaptive and rateless reconcilers opt into
+        ``reuse_alice_state``: the server's point multiset is fixed for
+        the core's lifetime, which is exactly the contract that flag
+        requires.
+        """
+        factories = {
+            "one-round": lambda: HierarchicalReconciler(self.config),
+            "adaptive": lambda: AdaptiveReconciler(
+                self.config, self.adaptive, reuse_alice_state=True
+            ),
+            "sharded": lambda: ShardedReconciler(self.config),
+            "rateless": lambda: RatelessReconciler(
+                self.config, self.rateless, reuse_alice_state=True
+            ),
+        }
+        if variant not in self._reconcilers:
+            self._reconcilers[variant] = factories[variant]()
+        return self._reconcilers[variant]
+
+    def encoded(self, variant: str) -> bytes:
+        """Cached opening payload of a one-way variant — a deterministic
+        function of (config, points), so one encode serves every
+        connection (and, after a fork, every worker)."""
+        if variant not in self._encoded:
+            self._encoded[variant] = self.reconciler(variant).encode(self.points)
+        return self._encoded[variant]
+
+    def session_for(
+        self, variant: str, start_index: int = 0, **hooks
+    ) -> Session:
+        """Build one connection's Alice session over the shared caches.
+
+        ``hooks`` forwards compute seams into the session (``responder``
+        for adaptive, ``increment_source`` for rateless — see
+        :meth:`SessionOffload.session_hooks`).
+        """
+        reconciler = self.reconciler(variant)
+        kwargs = {"reconciler": reconciler, **hooks}
+        if variant in ("one-round", "sharded"):
+            kwargs["encoded"] = self.encoded(variant)
+        if variant == "rateless":
+            kwargs["start_index"] = start_index
+        return make_session(variant, "alice", self.config, self.points, **kwargs)
+
+    def adaptive_respond(self, payload: bytes) -> bytes:
+        """Pure bytes-in/bytes-out adaptive round: Alice's response to one
+        request over the fixed point multiset.  Safe to run in a forked
+        pool worker (reads only copy-on-write state)."""
+        return self.reconciler("adaptive").alice_respond(payload, self.points)
+
+    def rateless_increment(self, index: int) -> bytes:
+        """Alice's ``index``-th encoded rateless increment (pure given the
+        fixed points; cached under state reuse)."""
+        return self.reconciler("rateless").alice_increment(self.points, index)
+
+    def warm(
+        self,
+        variants=VARIANTS,
+        *,
+        rateless_increments: int = 2,
+    ) -> "ServerCore":
+        """Prebuild every cache a worker would otherwise build on demand.
+
+        Called once in the pool parent before forking: digests, the
+        per-variant reconcilers, the one-way encoded payloads, Alice's
+        adaptive estimator/window state at every sampled level, and the
+        first ``rateless_increments`` rateless increments.  The sharded
+        engine's executor pool is released after its encode — live worker
+        pools must not cross a fork.  Returns ``self`` for chaining.
+        """
+        for variant in variants:
+            self.digest(variant)
+            reconciler = self.reconciler(variant)
+            if variant in ("one-round", "sharded"):
+                self.encoded(variant)
+            if hasattr(reconciler, "warm_alice"):
+                if variant == "rateless":
+                    reconciler.warm_alice(
+                        self.points, increments=rateless_increments
+                    )
+                else:
+                    reconciler.warm_alice(self.points)
+        if "sharded" in variants and "sharded" in self._reconcilers:
+            # The encode above is cached; drop the engine's executor so no
+            # thread/process pool is inherited by forked workers (it is
+            # rebuilt lazily if a post-fork session ever needs it).
+            self._reconcilers["sharded"].close()
+        return self
+
+    def close(self) -> None:
+        """Release pooled engine resources (idempotent)."""
+        sharded = self._reconcilers.pop("sharded", None)
+        if sharded is not None:
+            sharded.close()
+
+
+# The copy-on-write seam for process offload: the pool parent installs its
+# warmed core here *before* building the fork process pool, so offload
+# children inherit the heavy state by memory sharing and tasks reference
+# it by module-global name instead of pickling points per request.
+_PROCESS_CORE: ServerCore | None = None
+
+
+def install_process_core(core: ServerCore) -> None:
+    """Install ``core`` as the fork-inherited target of process offload."""
+    global _PROCESS_CORE
+    _PROCESS_CORE = core
+
+
+def _core_adaptive_respond(payload: bytes) -> bytes:
+    if _PROCESS_CORE is None:  # pragma: no cover - misconfiguration guard
+        raise ConfigError("process offload used without install_process_core()")
+    return _PROCESS_CORE.adaptive_respond(payload)
+
+
+def _core_rateless_increment(index: int) -> bytes:
+    if _PROCESS_CORE is None:  # pragma: no cover - misconfiguration guard
+        raise ConfigError("process offload used without install_process_core()")
+    return _PROCESS_CORE.rateless_increment(index)
+
+
+def _offload_ready() -> bool:
+    """No-op probe submitted to force eager pool start-up (picklable)."""
+    return True
+
+
+class SessionOffload:
+    """Move session compute off a server's event loop.
+
+    ``kind="thread"``: every ``session.start()`` / ``session.feed()``
+    call runs on a single-thread executor, bridged back with
+    ``asyncio.wrap_future`` — the loop stays free to accept, handshake,
+    and pump frames for *other* connections while one session peels a
+    large decode.  One thread is deliberate: session compute still
+    serialises (the GIL would enforce that anyway for pure-Python
+    kernels); the win is loop responsiveness, not parallel decode.
+
+    ``kind="process"``: additionally forwards the per-request-heavy pure
+    computations — the adaptive variant's ``alice_respond`` and the
+    rateless variant's increment encode — to a copy-on-write
+    :class:`~repro.scale.executors.ProcessExecutor` over the installed
+    process core (see :func:`install_process_core`).  Only bytes cross
+    the process boundary; the stateful session object never leaves the
+    worker.  Requires the ``fork`` start method.
+
+    The pool is started eagerly at construction (a no-op probe forces the
+    forks) so children are spawned while the process is still
+    single-threaded — forking later, once the offload thread exists,
+    would inherit arbitrary lock states.
+    """
+
+    def __init__(
+        self,
+        kind: str = "thread",
+        *,
+        core: ServerCore | None = None,
+        workers: int = 1,
+    ):
+        if kind not in ("thread", "process"):
+            raise ConfigError(
+                f"unknown offload kind {kind!r}; expected 'thread' or 'process'"
+            )
+        self.kind = kind
+        self._process: ProcessExecutor | None = None
+        if kind == "process":
+            if not fork_available():  # pragma: no cover - platform-specific
+                raise ConfigError(
+                    "process offload requires the 'fork' start method"
+                )
+            if core is None:
+                raise ConfigError(
+                    "process offload needs the server core installed "
+                    "before the pool forks; pass core="
+                )
+            install_process_core(core)
+            self._process = ProcessExecutor(max(1, workers))
+            self._process.submit(_offload_ready).result()
+        self._thread = ThreadExecutor(1)
+
+    async def drive(self, fn, *args):
+        """Run one session step off-loop; awaitable from the pump."""
+        return await asyncio.wrap_future(self._thread.submit(fn, *args))
+
+    def session_hooks(self, variant: str) -> dict:
+        """Compute seams to thread into :meth:`ServerCore.session_for`.
+
+        Thread offload needs none (the whole step already left the loop);
+        process offload redirects the pure per-request byte computations.
+        The hook blocks on the future inside the offload thread, so the
+        event loop never waits on a process-pool result directly.
+        """
+        if self._process is None:
+            return {}
+        if variant == "adaptive":
+            return {"responder": self._respond}
+        if variant == "rateless":
+            return {"increment_source": self._increment}
+        return {}
+
+    def _respond(self, payload: bytes) -> bytes:
+        return self._process.submit(_core_adaptive_respond, payload).result()
+
+    def _increment(self, index: int) -> bytes:
+        return self._process.submit(_core_rateless_increment, index).result()
+
+    def close(self) -> None:
+        """Shut down the offload executors (idempotent)."""
+        self._thread.close()
+        if self._process is not None:
+            self._process.close()
+
+    def __enter__(self) -> "SessionOffload":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 class ReconciliationServer:
     """Serve reconciliation sessions (as Alice) over TCP.
 
@@ -161,17 +461,31 @@ class ReconciliationServer:
 
     ``port=0`` (the default) binds an ephemeral port, published via
     :attr:`address` after :meth:`start`.
+
+    Two construction styles: the classic ``(config, points, ...)``
+    surface builds a private :class:`ServerCore`; a pre-fork worker
+    instead receives ``core=`` (the parent's warmed, copy-on-write-shared
+    core) and must not pass config/points.  Pool-specific knobs —
+    ``sock`` (an already-bound listen socket), ``reuse_port``
+    (SO_REUSEPORT bind), ``worker_index`` (stamped into welcome frames),
+    ``on_session`` (per-session stats callback for aggregation) and
+    ``offload`` (off-loop session compute, see :class:`SessionOffload`)
+    — all default to off, leaving single-process behaviour byte-identical
+    to earlier releases.
     """
 
     def __init__(
         self,
-        config: ProtocolConfig,
-        points,
+        config: ProtocolConfig | None = None,
+        points=None,
         *,
+        core: ServerCore | None = None,
         adaptive: AdaptiveConfig | None = None,
         rateless: RatelessConfig | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        sock: socket.socket | None = None,
+        reuse_port: bool = False,
         max_sessions: int = 64,
         max_pending: int | None = None,
         retry_after_hint: float = 0.05,
@@ -179,19 +493,48 @@ class ReconciliationServer:
         resume_capacity: int = 256,
         timeout: float | None = DEFAULT_TIMEOUT,
         stats_history: int = 1024,
+        worker_index: int | None = None,
+        on_session=None,
+        offload: SessionOffload | str | None = None,
     ):
-        self.config = config
-        self.adaptive = adaptive or AdaptiveConfig()
-        self.rateless = rateless or RatelessConfig()
-        self.points = points
+        if core is None:
+            if config is None or points is None:
+                raise ConfigError(
+                    "ReconciliationServer needs (config, points) or core="
+                )
+            core = ServerCore(
+                config, points, adaptive=adaptive, rateless=rateless
+            )
+            self._owns_core = True
+        else:
+            if config is not None or points is not None:
+                raise ConfigError(
+                    "pass either a prebuilt core= or (config, points), not both"
+                )
+            if adaptive is not None or rateless is not None:
+                raise ConfigError(
+                    "adaptive/rateless knobs live on the core when core= is "
+                    "passed"
+                )
+            self._owns_core = False
+        self.core = core
         self.host = host
         self.port = port
+        self._sock = sock
+        self.reuse_port = reuse_port
         self.max_sessions = max_sessions
         #: Overload watermark: how many validated connections may *wait*
         #: for a session slot before further arrivals are shed with a
         #: typed ``RETRY_LATER`` refusal instead of queueing unboundedly.
         #: ``None`` (the default) disables the watermark — every arrival
         #: queues, the pre-resilience behaviour.
+        #:
+        #: Under a :class:`~repro.serve.pool.WorkerPoolServer` both the
+        #: semaphore and this watermark are **per worker**: an N-worker
+        #: pool admits up to ``N * max_sessions`` concurrent sessions and
+        #: ``N * max_pending`` waiters globally.  That is the correct
+        #: unit — each worker sheds on *its own* backlog, the only queue
+        #: its clients are actually waiting in.
         self.max_pending = max_pending
         #: Base of the retry-after hint shipped in ``RETRY_LATER`` frames;
         #: scaled by how deep the pending queue is when the shed happens.
@@ -212,9 +555,17 @@ class ReconciliationServer:
         self._waiting = 0
         self._server: asyncio.base_events.Server | None = None
         self._finished = asyncio.Condition()
-        self._reconcilers: dict[str, object] = {}
-        self._encoded: dict[str, bytes] = {}
         self._handlers: set[asyncio.Task] = set()
+        self.worker_index = worker_index
+        self._on_session = on_session
+        if isinstance(offload, str):
+            # A spec string builds (and therefore owns) the offload; for
+            # "process" the shared core must be installed before forking.
+            offload = SessionOffload(offload, core=core)
+            self._owns_offload = True
+        else:
+            self._owns_offload = False
+        self._offload = offload
         #: Bounded LRU of rateless resume entries: token -> watermark of
         #: increments already streamed.  Alice's increments are a
         #: deterministic function of (config, points, index), so resuming
@@ -223,21 +574,64 @@ class ReconciliationServer:
         self.resume_capacity = resume_capacity
         self._resume: OrderedDict[str, _ResumeEntry] = OrderedDict()
         # Tokens must not validate across server incarnations (a restart
-        # may change the point set, silently corrupting a resumed peel);
-        # serve-layer code may read the clock, unlike protocol code.
-        self._resume_nonce = (time.time_ns() ^ id(self)) & 0xFFFFFFFF
+        # may change the point set, silently corrupting a resumed peel)
+        # nor across pool workers (each worker's resume LRU is private —
+        # a token presented to a sibling must fail typed, not resume a
+        # stream that worker never served); mixing the pid keeps nonces
+        # distinct across a fork, where time_ns and id() are inherited.
+        # Serve-layer code may read the clock, unlike protocol code.
+        self._resume_nonce = (
+            time.time_ns() ^ id(self) ^ (os.getpid() << 16)
+        ) & 0xFFFFFFFF
         self._resume_counter = 0
+
+    # ------------------------------------------------- core pass-throughs
+
+    @property
+    def config(self) -> ProtocolConfig:
+        return self.core.config
+
+    @property
+    def points(self):
+        return self.core.points
+
+    @property
+    def adaptive(self) -> AdaptiveConfig:
+        return self.core.adaptive
+
+    @property
+    def rateless(self) -> RatelessConfig:
+        return self.core.rateless
 
     # ------------------------------------------------------------ lifecycle
 
     async def start(self) -> tuple[str, int]:
-        """Bind and start accepting; returns ``(host, port)``."""
+        """Bind and start accepting; returns ``(host, port)``.
+
+        Three bind modes: a fresh ``(host, port)`` bind (the default); an
+        already-bound ``sock`` handed down by a pre-fork parent (all
+        workers accept from one shared socket — the kernel wakes exactly
+        one on each connection under asyncio's accept loop); or
+        ``reuse_port=True``, binding a per-worker socket to the same
+        address with ``SO_REUSEPORT`` so the kernel load-balances accepts
+        across workers without a shared-socket thundering herd.
+        """
         if self._server is not None:
             raise SessionError("server already started")
-        self._server = await asyncio.start_server(
-            self._handle, self.host, self.port
-        )
-        self.port = self._server.sockets[0].getsockname()[1]
+        if self._sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle, sock=self._sock
+            )
+        elif self.reuse_port:
+            self._server = await asyncio.start_server(
+                self._handle, self.host, self.port, reuse_port=True
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle, self.host, self.port
+            )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
         return self.address
 
     @property
@@ -259,9 +653,13 @@ class ReconciliationServer:
         pending = [task for task in self._handlers if not task.done()]
         if pending:
             await asyncio.gather(*pending, return_exceptions=True)
-        sharded = self._reconcilers.pop("sharded", None)
-        if sharded is not None:
-            sharded.close()
+        if self._owns_offload and self._offload is not None:
+            self._offload.close()
+        if self._owns_core:
+            # A core passed in (pool worker, differential test) is owned
+            # by whoever built it; closing it here would tear a shared
+            # executor out from under sibling servers.
+            self.core.close()
 
     async def __aenter__(self) -> "ReconciliationServer":
         await self.start()
@@ -293,46 +691,24 @@ class ReconciliationServer:
 
     def digest(self, variant: str) -> str:
         """The config digest this server expects for ``variant``."""
-        return handshake.config_digest(
-            self.config, variant, self.adaptive, self.rateless
-        )
+        return self.core.digest(variant)
 
     def _session_for(self, variant: str, start_index: int = 0) -> Session:
-        """Build this connection's Alice session.
+        """Build this connection's Alice session over the shared core.
 
-        Heavy per-variant state is computed once and shared across
-        connections: the reconciler (grids, executor pools) and — for the
-        one-way variants, whose opening message is a deterministic
-        function of (config, points) — the encoded payload itself, so a
-        session costs near-O(1) server CPU instead of re-encoding the
-        whole point set per connection.  The adaptive reconciler
-        additionally reuses Alice's per-level estimators and window
-        tables across connections (``reuse_alice_state``) — the server's
-        point multiset is fixed for its lifetime, which is exactly the
-        contract that flag requires.  The rateless reconciler likewise
-        caches each encoded increment the first time any client needs it.
+        Heavy per-variant state is computed once (per core — which may
+        predate this server by a fork) and shared across connections: the
+        reconciler and, for the one-way variants, the encoded opening
+        payload, so a session costs near-O(1) server CPU instead of
+        re-encoding the whole point set per connection.  See
+        :meth:`ServerCore.session_for`.  An active offload threads its
+        per-variant compute hooks into the session here.
         """
-        factories = {
-            "one-round": lambda: HierarchicalReconciler(self.config),
-            "adaptive": lambda: AdaptiveReconciler(
-                self.config, self.adaptive, reuse_alice_state=True
-            ),
-            "sharded": lambda: ShardedReconciler(self.config),
-            "rateless": lambda: RatelessReconciler(
-                self.config, self.rateless, reuse_alice_state=True
-            ),
-        }
-        if variant not in self._reconcilers:
-            self._reconcilers[variant] = factories[variant]()
-        reconciler = self._reconcilers[variant]
-        kwargs = {"reconciler": reconciler}
-        if variant in ("one-round", "sharded"):
-            if variant not in self._encoded:
-                self._encoded[variant] = reconciler.encode(self.points)
-            kwargs["encoded"] = self._encoded[variant]
-        if variant == "rateless":
-            kwargs["start_index"] = start_index
-        return make_session(variant, "alice", self.config, self.points, **kwargs)
+        hooks = (
+            self._offload.session_hooks(variant)
+            if self._offload is not None else {}
+        )
+        return self.core.session_for(variant, start_index=start_index, **hooks)
 
     # ------------------------------------------------------------ resilience
 
@@ -413,8 +789,10 @@ class ReconciliationServer:
         self, session: Session, reader, writer, recorder
     ) -> None:
         """Run the session pump under the per-connection deadline budget."""
+        drive = self._offload.drive if self._offload is not None else None
         pump = pump_stream(
-            session, reader, writer, channel=recorder, timeout=self.timeout
+            session, reader, writer, channel=recorder, timeout=self.timeout,
+            drive=drive,
         )
         if self.session_deadline is None:
             await pump
@@ -469,6 +847,10 @@ class ReconciliationServer:
                     else:
                         self._totals["failed"] += 1
                     self._finished.notify_all()
+                if self._on_session is not None:
+                    # Aggregation hook: a pool worker streams each
+                    # finished session's stats to the parent from here.
+                    self._on_session(stats)
 
     async def _run_session(
         self,
@@ -536,6 +918,10 @@ class ReconciliationServer:
         if not await self._acquire_slot():
             # Overload shedding: a typed RETRY_LATER refusal with a hint
             # proportional to the backlog, instead of unbounded queueing.
+            # ``_waiting`` counts *this process's* waiters — under a
+            # worker pool that is deliberately the per-worker backlog,
+            # the one queue this client is actually stuck behind, not a
+            # (stale, lock-needing) global count across siblings.
             retry_after = self.retry_after_hint * (1 + self._waiting)
             stats.shed = True
             try:
@@ -545,8 +931,12 @@ class ReconciliationServer:
                 )
             except (ConnectionError, OSError, SessionError):
                 pass
+            where = (
+                f" on worker {self.worker_index}"
+                if self.worker_index is not None else ""
+            )
             raise ServerOverloadedError(
-                f"shed: {self.max_sessions} session(s) active and "
+                f"shed{where}: {self.max_sessions} session(s) active and "
                 f"{self._waiting} pending (watermark {self.max_pending}); "
                 f"asked the client to retry after {retry_after:g}s",
                 retry_after=retry_after,
@@ -560,6 +950,7 @@ class ReconciliationServer:
                 handshake.welcome_bytes(
                     variant, expected, token=token,
                     resume_from=stats.resumed_from,
+                    worker=self.worker_index,
                 ),
                 timeout=self.timeout,
             )
@@ -663,6 +1054,7 @@ async def sync(
         )
         welcome = await read_frame(reader, timeout=timeout)
         record = handshake.parse_welcome(welcome)
+        served_by = record.get("worker")
         if resume is not None and isinstance(record.get("token"), str):
             resume.token = record["token"]
         kwargs = {"strategy": strategy}
@@ -688,6 +1080,9 @@ async def sync(
     result.transcript = Transcript.from_messages(
         recorder.messages[first_message:]
     )
+    #: Which pool worker served this sync (None against a plain server) —
+    #: diagnostic only, never part of the protocol.
+    result.served_by = served_by
     return result
 
 

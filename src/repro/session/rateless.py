@@ -78,6 +78,13 @@ class RatelessAliceSession(Session):
     of 0 — the server's resume path: her increments are a deterministic
     function of (config, points, index), so continuing a broken stream
     needs no per-connection sketch state, only the index to speak next.
+
+    ``increment_source`` is an optional compute seam: an
+    ``index -> bytes`` callable replacing the inline
+    ``alice_increment`` build.  The serve layer uses it to encode
+    increments on a process pool over fork-shared state; the bytes must
+    be identical to the inline path (same deterministic function, merely
+    computed elsewhere).
     """
 
     variant = "rateless"
@@ -90,6 +97,7 @@ class RatelessAliceSession(Session):
         rateless: RatelessConfig | None = None,
         reconciler: RatelessReconciler | None = None,
         start_index: int = 0,
+        increment_source=None,
     ):
         super().__init__()
         self.config = config
@@ -102,6 +110,12 @@ class RatelessAliceSession(Session):
                 f"{start_index}; valid indices are 0..{cap - 1}"
             )
         self._sent = start_index
+        self._increment_source = increment_source
+
+    def _increment(self, index: int) -> bytes:
+        if self._increment_source is not None:
+            return self._increment_source(index)
+        return self._reconciler.alice_increment(self._points, index)
 
     @property
     def sent_increments(self) -> int:
@@ -113,7 +127,7 @@ class RatelessAliceSession(Session):
         return ACK_LABEL
 
     def _start(self) -> SessionOutput:
-        payload = self._reconciler.alice_increment(self._points, self._sent)
+        payload = self._increment(self._sent)
         self._sent += 1
         return [OutboundMessage(payload, CELLS_LABEL)]
 
@@ -126,7 +140,7 @@ class RatelessAliceSession(Session):
                 f"peer still undecoded after the shared cap of {cap} "
                 "rateless increments"
             )
-        out = self._reconciler.alice_increment(self._points, self._sent)
+        out = self._increment(self._sent)
         self._sent += 1
         return [OutboundMessage(out, CELLS_LABEL)]
 

@@ -5,6 +5,12 @@ a simulated-channel run, an in-process asyncio loopback run, and a
 loopback-TCP run must produce (a) **equal repaired multisets** and (b)
 **equal payload bytes per message**, in the same order with the same
 labels.  The transports may only move bytes — never shape them.
+
+The multi-worker leg extends the same contract across processes: a
+pre-fork :class:`~repro.serve.pool.WorkerPoolServer` with four workers
+must ship byte-identical payloads and repair the same multisets as the
+single-process server, whichever worker the kernel picks, and every
+worker must answer the handshake with the same config digest.
 """
 
 import asyncio
@@ -17,7 +23,8 @@ from repro.core.protocol import reconcile
 from repro.core.rateless import reconcile_rateless
 from repro.net.channel import LoopbackChannel, SimulatedChannel
 from repro.scale.engine import reconcile_sharded
-from repro.serve import ReconciliationServer, sync
+from repro.scale.executors import fork_available
+from repro.serve import ReconciliationServer, WorkerPoolServer, sync
 from repro.session import make_session, run_async
 from repro.workloads.synthetic import perturbed_pair
 
@@ -156,3 +163,109 @@ class TestServerReuse:
         assert server.summary()["ok"] == 5
         first = sorted(results[0].repaired)
         assert all(sorted(r.repaired) == first for r in results)
+
+
+@pytest.mark.skipif(
+    not fork_available(), reason="worker pool requires the fork start method"
+)
+class TestMultiWorkerDifferential:
+    """workers=1 vs workers=4: same repairs, same bytes, same digests."""
+
+    @pytest.mark.parametrize("variant,kwargs,runner", VARIANTS,
+                             ids=[v for v, _, _ in VARIANTS])
+    def test_pool_equals_single_process(self, variant, kwargs, runner):
+        workload, config = _setup(kwargs, seed=15)
+
+        async def one_worker():
+            channel = SimulatedChannel()
+            async with ReconciliationServer(config, workload.alice) as server:
+                result = await sync(
+                    *server.address, config, workload.bob,
+                    variant=variant, channel=channel, timeout=10,
+                )
+            return result, channel
+
+        async def four_workers():
+            channel = SimulatedChannel()
+            async with WorkerPoolServer(
+                config, workload.alice, workers=4
+            ) as pool:
+                result = await sync(
+                    *pool.address, config, workload.bob,
+                    variant=variant, channel=channel, timeout=10,
+                )
+            return result, channel
+
+        single, single_channel = asyncio.run(one_worker())
+        pooled, pooled_channel = asyncio.run(four_workers())
+        assert sorted(pooled.repaired) == sorted(single.repaired)
+        assert _message_triples(pooled_channel) == _message_triples(
+            single_channel
+        )
+        assert pooled.transcript == single.transcript
+
+    def test_every_worker_ships_identical_bytes_and_digest(self):
+        """Concurrent clients land on several workers; all must receive
+        byte-identical payload sequences, and the pool's handshake
+        digests must equal the single-process server's for every
+        variant (each successful sync re-verifies its digest on the
+        wire)."""
+        workload, config = _setup({}, seed=16)
+
+        async def scenario():
+            async with WorkerPoolServer(
+                config, workload.alice, workers=4
+            ) as pool:
+                single = ReconciliationServer(config, workload.alice)
+                for variant, _, _ in VARIANTS:
+                    assert pool.digest(variant) == single.digest(variant)
+                await single.close()
+                channels = [SimulatedChannel() for _ in range(12)]
+                results = await asyncio.gather(*[
+                    sync(*pool.address, config, workload.bob,
+                         variant="one-round", channel=channel, timeout=10)
+                    for channel in channels
+                ])
+                await pool.wait_for_sessions(12)
+                return pool.summary(), results, channels
+
+        summary, results, channels = asyncio.run(scenario())
+        assert summary["ok"] == 12
+        served_by = {r.served_by for r in results}
+        assert len(served_by) >= 2, f"all sessions on one worker: {served_by}"
+        reference = _message_triples(channels[0])
+        for channel in channels[1:]:
+            assert _message_triples(channel) == reference
+        first = sorted(results[0].repaired)
+        assert all(sorted(r.repaired) == first for r in results)
+
+    @pytest.mark.parametrize("offload", ["thread", "process"])
+    def test_offload_is_byte_invisible(self, offload):
+        """Off-loop session compute may not change a single payload
+        byte relative to the inline server, for the offload-sensitive
+        variants (adaptive and rateless both route compute through the
+        hooks under offload='process')."""
+        for variant, kwargs, _ in VARIANTS:
+            if variant not in ("adaptive", "rateless"):
+                continue
+            workload, config = _setup(kwargs, seed=17)
+
+            async def run(offload_spec):
+                channel = SimulatedChannel()
+                async with ReconciliationServer(
+                    config, workload.alice, offload=offload_spec
+                ) as server:
+                    result = await sync(
+                        *server.address, config, workload.bob,
+                        variant=variant, channel=channel, timeout=10,
+                    )
+                return result, channel
+
+            inline_result, inline_channel = asyncio.run(run(None))
+            off_result, off_channel = asyncio.run(run(offload))
+            assert _message_triples(off_channel) == _message_triples(
+                inline_channel
+            ), (variant, offload)
+            assert sorted(off_result.repaired) == sorted(
+                inline_result.repaired
+            )
