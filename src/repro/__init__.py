@@ -79,6 +79,8 @@ from repro.errors import (
     ServerOverloadedError,
     SessionError,
     StaleResumeTokenError,
+    StoreCorruptError,
+    StoreError,
     SyncRefusedError,
 )
 from repro.net.channel import Direction, LoopbackChannel, SimulatedChannel
@@ -118,6 +120,8 @@ __all__ = [
     "ServerOverloadedError",
     "SessionError",
     "StaleResumeTokenError",
+    "StoreCorruptError",
+    "StoreError",
     "SyncRefusedError",
     "ShardedIncrementalSketch",
     "ShardedReconciler",

@@ -43,7 +43,7 @@ from repro.core.bounds import (
 from repro.core.config import ProtocolConfig
 from repro.core.protocol import reconcile
 from repro.core.rateless import reconcile_rateless
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.iblt.backends import available_backends, backend_names
 from repro.iblt.decode import DECODE_STRATEGIES
 from repro.net import codec
@@ -53,10 +53,12 @@ from repro.serve import (
     DEFAULT_TIMEOUT,
     ReconciliationServer,
     RetryPolicy,
+    ServerCore,
     WorkerPoolServer,
     resilient_sync,
     sync_blocking,
 )
+from repro.store import DurableSketchStore
 from repro.workloads.geo import geo_pair
 from repro.workloads.sensors import sensor_pair
 from repro.workloads.synthetic import clustered_pair, perturbed_pair
@@ -165,6 +167,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "'thread' keeps the loop responsive, 'process' "
                             "additionally moves heavy per-request encodes "
                             "to a copy-on-write process pool")
+    serve.add_argument("--store-dir", type=Path, default=None,
+                       dest="store_dir",
+                       help="durable sketch store directory (must exist and "
+                            "be writable): first boot bulk-loads the "
+                            "workload and snapshots it; later boots recover "
+                            "the sketch from disk instead of re-encoding")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=0,
                        help="TCP port (default: 0 = pick one and print it)")
@@ -380,20 +388,55 @@ def cmd_serve(args) -> int:
     if args.workers < 1:
         print(f"error: --workers must be >= 1, got {args.workers}")
         return 2
+    core = None
+    store_line = None
+    if args.store_dir is not None:
+        # Typed failures (missing/unwritable dir -> ConfigError, damaged
+        # state -> StoreCorruptError) propagate to main()'s ReproError
+        # handler: a clean one-line error and exit code 2, no traceback.
+        store = DurableSketchStore.open(config, str(args.store_dir))
+        if store.sketch.n_points == 0 and points:
+            store.bulk_load(points)
+            store_line = (
+                f"store    : {args.store_dir} loaded {len(points)} points "
+                f"(first boot; snapshot published)"
+            )
+        elif store.sketch.n_points != len(points):
+            raise ConfigError(
+                f"store at {args.store_dir} holds {store.sketch.n_points} "
+                f"points but the workload has {len(points)} — refusing to "
+                "serve inconsistent state (point a fresh --store-dir at a "
+                "changed workload)"
+            )
+        else:
+            recovery = store.recovery
+            store_line = (
+                f"store    : {args.store_dir} recovered from "
+                f"{recovery.source} (generation {recovery.generation}, "
+                f"{recovery.replayed_records} WAL records replayed, "
+                f"{recovery.truncated_bytes} torn bytes truncated)"
+            )
+        core = ServerCore(config, points, store=store)
 
     async def run() -> None:
         # --workers 1 is the exact single-process server; N>1 pre-forks N
         # workers sharing one warmed copy-on-write core (serve/pool.py).
+        # A store-backed core is recovered *before* either server exists,
+        # so pool workers fork after recovery and inherit it CoW.
         if args.workers > 1:
             server = WorkerPoolServer(
-                config, points, workers=args.workers,
+                config if core is None else None,
+                points if core is None else None,
+                core=core, workers=args.workers,
                 host=args.host, port=args.port,
                 max_sessions=args.max_sessions, max_pending=args.max_pending,
                 timeout=args.timeout, offload=args.offload,
             )
         else:
             server = ReconciliationServer(
-                config, points, host=args.host, port=args.port,
+                config if core is None else None,
+                points if core is None else None,
+                core=core, host=args.host, port=args.port,
                 max_sessions=args.max_sessions, max_pending=args.max_pending,
                 timeout=args.timeout, offload=args.offload,
             )
@@ -414,6 +457,8 @@ def cmd_serve(args) -> int:
                   f"{mode}; "
                   f"variants: one-round, adaptive, sharded, rateless)",
                   flush=True)
+            if store_line is not None:
+                print(store_line, flush=True)
             waits = [asyncio.ensure_future(stop.wait())]
             if args.max_syncs is not None:
                 waits.append(
@@ -467,6 +512,15 @@ def cmd_sync(args) -> int:
             variant=variant, timeout=args.timeout,
         )
     print(f"synced against {args.host}:{args.port} ({variant})")
+    if getattr(result, "resumed_from", None) is not None:
+        print(f"resumed  : stream continued at increment "
+              f"{result.resumed_from}")
+    recovered = getattr(result, "recovered", None)
+    if recovered is not None:
+        print(f"server   : recovered from {recovered.get('source')} "
+              f"(generation {recovered.get('generation')}, "
+              f"{recovered.get('records')} WAL records, "
+              f"{recovered.get('n_points')} points)")
     print(f"message  : {result.transcript.describe()}")
     print(f"repair   : +{result.alice_surplus} centres, "
           f"-{result.bob_surplus} points")

@@ -66,30 +66,109 @@ class IncrementalSketch:
             level: {} for level in config.sketch_levels
         }
 
-    def insert(self, point: Point) -> None:
-        """Add one point: one key per level.
+    def plan_insert(
+        self, point: Point, pending: dict[tuple[int, int], int] | None = None
+    ) -> list[tuple[int, int]]:
+        """The key deltas inserting ``point`` would apply: one per level.
 
-        Validates every level's occupancy before touching any table, so a
-        ``CapacityExceeded`` leaves the sketch unchanged.
+        Validates every level's occupancy before committing to anything,
+        so a ``CapacityExceeded`` plans nothing.  ``pending`` is a
+        ``(level, cell_id) -> count delta`` overlay for batch planning:
+        ranks are assigned as if the overlay's earlier (still unapplied)
+        deltas had landed, and the overlay is advanced in place.  The
+        durable store uses this to frame a whole batch into one WAL
+        record *before* mutating the sketch.
         """
         occ_bits = self.grid.occupancy_bits
         occ_limit = 1 << occ_bits
         cell_ids = {
             level: self.grid.cell_id(point, level) for level in self._tables
         }
+        ranks: dict[int, int] = {}
         for level, cell_id in cell_ids.items():
-            if self._cell_counts[level].get(cell_id, 0) >= occ_limit:
+            rank = self._cell_counts[level].get(cell_id, 0)
+            if pending is not None:
+                rank += pending.get((level, cell_id), 0)
+            if rank >= occ_limit:
                 raise CapacityExceeded(
                     f"cell {self.grid.cell(point, level)} at level {level} "
                     f"exceeds the {occ_bits}-bit occupancy field"
                 )
-        for level, table in self._tables.items():
-            cell_id = cell_ids[level]
-            counts = self._cell_counts[level]
-            rank = counts.get(cell_id, 0)
-            table.insert((cell_id << occ_bits) | rank)
+            ranks[level] = rank
+        if pending is not None:
+            for level, cell_id in cell_ids.items():
+                pending[(level, cell_id)] = pending.get((level, cell_id), 0) + 1
+        return [
+            (level, (cell_id << occ_bits) | ranks[level])
+            for level, cell_id in cell_ids.items()
+        ]
+
+    def plan_remove(
+        self, point: Point, pending: dict[tuple[int, int], int] | None = None
+    ) -> list[tuple[int, int]]:
+        """The key deltas removing one point of ``point``'s cells applies.
+
+        Same batch-overlay contract as :meth:`plan_insert`; a failed plan
+        (empty cell) advances nothing.
+        """
+        cell_ids = {
+            level: self.grid.cell_id(point, level) for level in self._tables
+        }
+        ranks: dict[int, int] = {}
+        for level, cell_id in cell_ids.items():
+            count = self._cell_counts[level].get(cell_id, 0)
+            if pending is not None:
+                count += pending.get((level, cell_id), 0)
+            if count <= 0:
+                raise ReconciliationFailure(
+                    f"remove of {point}: cell {self.grid.cell(point, level)} "
+                    f"at level {level} is empty"
+                )
+            ranks[level] = count - 1
+        if pending is not None:
+            for level, cell_id in cell_ids.items():
+                pending[(level, cell_id)] = pending.get((level, cell_id), 0) - 1
+        occ_bits = self.grid.occupancy_bits
+        return [
+            (level, (cell_id << occ_bits) | ranks[level])
+            for level, cell_id in cell_ids.items()
+        ]
+
+    def apply_delta(self, level: int, key: int, sign: int) -> None:
+        """Apply one planned key delta (``sign`` is +1 insert / -1 delete).
+
+        The inverse of planning: touches exactly one cell of one level's
+        table and maintains the per-cell count from the key's rank field
+        (an insert of rank ``r`` means the cell now holds ``r + 1``
+        points; a delete of rank ``r`` means it holds ``r``).  Point
+        accounting rides on the finest level — every per-point plan
+        carries exactly one key there — so replaying a WAL's deltas in
+        log order rebuilds ``n_points`` too.
+        """
+        occ_bits = self.grid.occupancy_bits
+        cell_id = key >> occ_bits
+        rank = key & ((1 << occ_bits) - 1)
+        counts = self._cell_counts[level]
+        if sign > 0:
+            self._tables[level].insert(key)
             counts[cell_id] = rank + 1
-        self.n_points += 1
+        else:
+            self._tables[level].delete(key)
+            if rank == 0:
+                counts.pop(cell_id, None)
+            else:
+                counts[cell_id] = rank
+        if level == self.config.sketch_levels[0]:
+            self.n_points += 1 if sign > 0 else -1
+
+    def insert(self, point: Point) -> None:
+        """Add one point: one key per level.
+
+        Validates every level's occupancy before touching any table, so a
+        ``CapacityExceeded`` leaves the sketch unchanged.
+        """
+        for level, key in self.plan_insert(point):
+            self.apply_delta(level, key, 1)
 
     def remove(self, point: Point) -> None:
         """Remove one point of the multiset (any point of its cells).
@@ -98,26 +177,8 @@ class IncrementalSketch:
         each of the point's cells is exactly removing this point from the
         sketch's perspective.
         """
-        occ_bits = self.grid.occupancy_bits
-        cell_ids = {
-            level: self.grid.cell_id(point, level) for level in self._tables
-        }
-        for level, cell_id in cell_ids.items():
-            if self._cell_counts[level].get(cell_id, 0) <= 0:
-                raise ReconciliationFailure(
-                    f"remove of {point}: cell {self.grid.cell(point, level)} "
-                    f"at level {level} is empty"
-                )
-        for level, table in self._tables.items():
-            cell_id = cell_ids[level]
-            counts = self._cell_counts[level]
-            rank = counts[cell_id] - 1
-            table.delete((cell_id << occ_bits) | rank)
-            if rank == 0:
-                del counts[cell_id]
-            else:
-                counts[cell_id] = rank
-        self.n_points -= 1
+        for level, key in self.plan_remove(point):
+            self.apply_delta(level, key, -1)
 
     def insert_all(self, points) -> None:
         """Insert every point of an iterable.
@@ -145,6 +206,32 @@ class IncrementalSketch:
                 counts[cell_id] = counts.get(cell_id, 0) + 1
             self._cell_counts[level] = counts
         self.n_points = len(points)
+
+    def level_cell_counts(self, level: int) -> dict[int, int]:
+        """One level's live per-cell point counts (read-only view).
+
+        The snapshot writer persists these alongside the cells: they are
+        *not* derivable from the IBLT (whose cells are sums over hashed
+        rows), yet per-point maintenance needs them to assign ranks.
+        """
+        return self._cell_counts[level]
+
+    def restore_level(
+        self, level, counts, key_sums, check_sums, cell_counts: dict[int, int]
+    ) -> None:
+        """Load one level's table rows and cell counts from a snapshot.
+
+        Only meaningful on a freshly constructed (empty) sketch; the
+        columns must come from a table of this level's exact config, as
+        produced by the matching dump.  ``n_points`` is restored
+        separately via :meth:`restore_n_points`.
+        """
+        self._tables[level]._backend.load_rows(counts, key_sums, check_sums)
+        self._cell_counts[level] = dict(cell_counts)
+
+    def restore_n_points(self, n_points: int) -> None:
+        """Set the point count to a snapshot's recorded value."""
+        self.n_points = n_points
 
     def level_sketches(self) -> list[LevelSketch]:
         """Live per-level tables, finest first.

@@ -127,6 +127,36 @@ class RetryExhaustedError(ReproError):
         self.attempts = tuple(attempts)
 
 
+class StoreError(ReproError):
+    """The durable sketch store (:mod:`repro.store`) could not operate.
+
+    Base for every store-layer failure: unusable directories, I/O errors
+    wrapped at the storage seam, corruption.  ``OSError`` never escapes
+    the store raw.
+    """
+
+
+class StoreCorruptError(StoreError):
+    """The on-disk store state is damaged beyond automatic recovery.
+
+    A torn WAL *tail* is not corruption — recovery truncates it silently.
+    This error means the durable prefix itself is unusable: a snapshot
+    with a bad CRC or foreign config digest, a WAL whose first record is
+    unreadable while a snapshot generation says records must exist, or
+    framing from a future/unknown version.
+    """
+
+
+class InjectedCrash(StoreError):
+    """A deterministic :class:`~repro.store.crash.CrashPlan` kill point fired.
+
+    Simulates ``kill -9`` at a chosen storage operation: the store's
+    in-process state is abandoned mid-flight and tests recover from the
+    surviving bytes.  Only ever raised under injection; production
+    storage never throws it.
+    """
+
+
 class CapacityExceeded(ReproError):
     """More items were inserted into a sketch than its sizing supports.
 

@@ -15,6 +15,7 @@ from repro.lint.rules import (
     executor_safety,
     numpy_optional,
     sans_io,
+    store_discipline,
     typed_errors,
     wire_magic,
 )
@@ -28,6 +29,7 @@ ALL_RULES = (
     wire_magic,  # RPL005
     backend_contract,  # RPL006
     executor_safety,  # RPL007
+    store_discipline,  # RPL008
 )
 
 #: code -> rule module.

@@ -1,0 +1,113 @@
+"""RPL008 — store/ writes flow through the storage seam.
+
+The durable store's crash-safety argument rests on every byte moving
+through :mod:`repro.store.storage`: that is where ``OSError`` becomes a
+typed :class:`~repro.errors.StoreError`, where the
+:class:`~repro.store.crash.CrashInjector` counts operations (the crash
+matrix only covers kill points it can see), and where the one
+``os.replace`` + directory-fsync pair lives (``publish``).  A bare
+``open(..., "w")`` or stray ``os.replace`` elsewhere in ``store/`` is a
+write the matrix never kills and the error taxonomy never wraps —
+exactly the kind of hole that turns "proved crash-safe" into "probably
+crash-safe".
+
+Concretely, inside ``store/``:
+
+* outside the seam module, no ``open(...)`` calls and no ``os.*`` /
+  ``shutil.*`` file operations at all — read *and* write paths go
+  through a storage backend;
+* inside the seam module, ``os.replace`` / ``os.rename`` may appear
+  only in the ``publish`` helper.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Finding
+from repro.lint.project import Project
+
+CODE = "RPL008"
+NAME = "store-write-discipline"
+DESCRIPTION = (
+    "store/ I/O flows through the storage seam: no open() or os/shutil "
+    "file ops outside storage.py; os.replace only inside publish"
+)
+
+_SCOPE_PREFIX = "store/"
+_SEAM = "store/storage.py"
+
+#: ``os`` attributes that touch the filesystem (reads included: a read
+#: outside the seam dodges the typed-error wrapping just the same).
+OS_FILE_OPS = frozenset(
+    {
+        "fdopen", "fsync", "ftruncate", "link", "makedirs", "mkdir",
+        "open", "remove", "removedirs", "rename", "renames", "replace",
+        "rmdir", "symlink", "truncate", "unlink", "write",
+    }
+)
+
+#: The atomic-publish primitives the seam itself must confine.
+RENAME_OPS = frozenset({"rename", "renames", "replace"})
+
+
+def check(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in project.modules:
+        if not module.relpath.startswith(_SCOPE_PREFIX):
+            continue
+        seam = module.relpath == _SEAM
+        for function, node in _walk_with_function(module.tree, None):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open" and not seam:
+                findings.append(
+                    module.finding(
+                        CODE, node.lineno,
+                        "bare open() in store code; all store I/O must go "
+                        "through a repro.store.storage backend so errors are "
+                        "typed and the crash injector sees the operation",
+                        rule=NAME,
+                    )
+                )
+                continue
+            if not (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("os", "shutil")
+            ):
+                continue
+            attr = func.attr
+            if func.value.id == "shutil" or attr in OS_FILE_OPS:
+                if not seam:
+                    findings.append(
+                        module.finding(
+                            CODE, node.lineno,
+                            f"{func.value.id}.{attr}() in store code outside "
+                            "the storage seam; file operations belong in "
+                            "repro.store.storage",
+                            rule=NAME,
+                        )
+                    )
+                elif attr in RENAME_OPS and function != "publish":
+                    findings.append(
+                        module.finding(
+                            CODE, node.lineno,
+                            f"os.{attr}() outside the publish helper; the "
+                            "atomic rename + directory fsync pair is the "
+                            "publish method's job alone",
+                            rule=NAME,
+                        )
+                    )
+    return findings
+
+
+def _walk_with_function(node, function):
+    """Yield ``(enclosing_function_name, descendant)`` pairs."""
+    for child in ast.iter_child_nodes(node):
+        name = function
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            name = child.name
+        yield name, child
+        yield from _walk_with_function(child, name)

@@ -53,6 +53,48 @@ class ShardedIncrementalSketch:
         """Per-shard point counts (load-balance observability)."""
         return [shard.n_points for shard in self._shards]
 
+    def shard_sketches(self) -> tuple[IncrementalSketch, ...]:
+        """The per-shard incremental sketches, in shard order.
+
+        The durable store's snapshot codec walks these to dump/restore
+        per-level state; treat them as owned by this object.
+        """
+        return tuple(self._shards)
+
+    def plan_insert(
+        self, point: Point, pending: list[dict] | None = None
+    ) -> tuple[int, list[tuple[int, int]]]:
+        """Route a point to its shard and plan the insert there.
+
+        Returns ``(shard_index, [(level, key), ...])``; ``pending`` is a
+        list of per-shard batch overlays (see
+        :meth:`~repro.core.incremental.IncrementalSketch.plan_insert`).
+        """
+        shard = self.partitioner.shard_of(point)
+        overlay = None if pending is None else pending[shard]
+        return shard, self._shards[shard].plan_insert(point, overlay)
+
+    def plan_remove(
+        self, point: Point, pending: list[dict] | None = None
+    ) -> tuple[int, list[tuple[int, int]]]:
+        """Route a point to its shard and plan the remove there."""
+        shard = self.partitioner.shard_of(point)
+        overlay = None if pending is None else pending[shard]
+        return shard, self._shards[shard].plan_remove(point, overlay)
+
+    def apply_delta(self, shard: int, level: int, key: int, sign: int) -> None:
+        """Apply one planned key delta to one shard's tables."""
+        self._shards[shard].apply_delta(level, key, sign)
+
+    def key_bits(self, level: int) -> int:
+        """Packed key width at ``level`` (identical across shards — the
+        shards share one derived sub-config)."""
+        return self._shards[0].grid.key_bits(level)
+
+    def sketch_levels(self) -> tuple[int, ...]:
+        """The levels every shard sketches, finest first."""
+        return self._shards[0].config.sketch_levels
+
     def insert(self, point: Point) -> None:
         """Add one point — touches a single shard's tables."""
         self._shards[self.partitioner.shard_of(point)].insert(point)

@@ -206,6 +206,7 @@ def welcome_bytes(
     token: str | None = None,
     resume_from: int | None = None,
     worker: int | None = None,
+    recovered: dict | None = None,
 ) -> bytes:
     """The server's acceptance frame.
 
@@ -213,9 +214,11 @@ def welcome_bytes(
     presents if this connection dies mid-stream — and, when the server
     accepted a resume request, ``resume_from``, the increment index the
     stream continues at.  A pool worker additionally stamps its
-    ``worker`` index (diagnostic only — clients must not branch on it);
-    a plain single-process welcome (``worker=None``) stays byte-identical
-    to previous wire versions.
+    ``worker`` index, and a store-backed server its ``recovered``
+    summary (source / generation / replayed records).  Both are
+    diagnostic only — clients must not branch on them — and a plain
+    single-process, store-less welcome (``worker=None``,
+    ``recovered=None``) stays byte-identical to previous wire versions.
     """
     record = {
         "magic": MAGIC,
@@ -230,6 +233,8 @@ def welcome_bytes(
         record["resume_from"] = resume_from
     if worker is not None:
         record["worker"] = worker
+    if recovered is not None:
+        record["recovered"] = recovered
     return _dump(record)
 
 

@@ -210,14 +210,65 @@ class ServerCore:
         *,
         adaptive: AdaptiveConfig | None = None,
         rateless: RatelessConfig | None = None,
+        store=None,
     ):
         self.config = config
         self.adaptive = adaptive or AdaptiveConfig()
         self.rateless = rateless or RatelessConfig()
         self.points = points
+        #: Optional :class:`~repro.store.DurableSketchStore` backing the
+        #: one-way payload caches — the recovered sketch state *is* the
+        #: encoded message, so a warm boot skips the from-scratch encode.
+        #: Opened (and recovered) before the core is built, so under the
+        #: pre-fork pool every worker inherits the recovered state
+        #: copy-on-write.
+        self.store = store
         self._reconcilers: dict[str, object] = {}
         self._encoded: dict[str, bytes] = {}
         self._digests: dict[str, str] = {}
+
+    def recovery_summary(self) -> dict | None:
+        """The store's recovery diagnostics for the welcome frame.
+
+        ``None`` without a store (keeping the welcome byte-identical to
+        a store-less server); otherwise a small dict clients may print
+        but must never branch on.
+        """
+        if self.store is None:
+            return None
+        recovery = self.store.recovery
+        return {
+            "source": recovery.source,
+            "generation": recovery.generation,
+            "records": recovery.replayed_records,
+            "n_points": recovery.n_points,
+        }
+
+    def ingest(self, points) -> int:
+        """Durably insert live points (the broadcast / anti-entropy seam).
+
+        With a store attached the batch is WAL-appended and fsynced
+        *before* this returns (and before any caller acks upstream);
+        the in-memory caches — encoded payloads, per-variant reconciler
+        state — are then invalidated and rebuilt lazily on the next
+        session.  Single-process servers only: a pre-fork pool's workers
+        hold copy-on-write cores and one shared WAL must have one
+        writer, so pools serve a fixed point set per incarnation (see
+        the README's per-worker caveats).
+        """
+        points = list(points)
+        if not points:
+            return 0
+        if self.store is not None:
+            self.store.insert_batch(points)
+        self.points = list(self.points) + points
+        for reconciler in self._reconcilers.values():
+            close = getattr(reconciler, "close", None)
+            if close is not None:
+                close()
+        self._reconcilers.clear()
+        self._encoded.clear()
+        return len(points)
 
     def digest(self, variant: str) -> str:
         """The config digest this core expects for ``variant`` (cached —
@@ -254,9 +305,25 @@ class ServerCore:
     def encoded(self, variant: str) -> bytes:
         """Cached opening payload of a one-way variant — a deterministic
         function of (config, points), so one encode serves every
-        connection (and, after a fork, every worker)."""
+        connection (and, after a fork, every worker).
+
+        With a store attached the payload comes straight off the
+        recovered sketch state — bit-identical to the from-scratch
+        encode (the store's differential contract), minus the encode.
+        """
         if variant not in self._encoded:
-            self._encoded[variant] = self.reconciler(variant).encode(self.points)
+            if self.store is not None and variant == "sharded":
+                self._encoded[variant] = self.store.encode()
+            elif (
+                self.store is not None
+                and variant == "one-round"
+                and self.config.shards == 1
+            ):
+                self._encoded[variant] = self.store.one_round_encode()
+            else:
+                self._encoded[variant] = self.reconciler(variant).encode(
+                    self.points
+                )
         return self._encoded[variant]
 
     def session_for(
@@ -951,6 +1018,7 @@ class ReconciliationServer:
                     variant, expected, token=token,
                     resume_from=stats.resumed_from,
                     worker=self.worker_index,
+                    recovered=self.core.recovery_summary(),
                 ),
                 timeout=self.timeout,
             )
@@ -1055,6 +1123,8 @@ async def sync(
         welcome = await read_frame(reader, timeout=timeout)
         record = handshake.parse_welcome(welcome)
         served_by = record.get("worker")
+        resumed_from = record.get("resume_from")
+        recovered = record.get("recovered")
         if resume is not None and isinstance(record.get("token"), str):
             resume.token = record["token"]
         kwargs = {"strategy": strategy}
@@ -1081,8 +1151,13 @@ async def sync(
         recorder.messages[first_message:]
     )
     #: Which pool worker served this sync (None against a plain server) —
-    #: diagnostic only, never part of the protocol.
+    #: diagnostic only, never part of the protocol.  ``resumed_from`` is
+    #: the increment index a resumed rateless stream continued at;
+    #: ``recovered`` is the store-backed server's recovery summary.
+    #: All three are None unless the server stamped them.
     result.served_by = served_by
+    result.resumed_from = resumed_from
+    result.recovered = recovered
     return result
 
 

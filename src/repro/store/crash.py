@@ -1,0 +1,113 @@
+"""Deterministic ``kill -9`` injection for the durable store.
+
+Sibling of :class:`~repro.net.faults.FaultPlan`: where fault plans cut
+*network* bytes, a :class:`CrashPlan` kills the *process* at a chosen
+storage operation — mid WAL append, between a snapshot's rename and the
+directory fsync, anywhere.  Every storage call is an ordinal; the plan
+names the ordinal to die at and a seed, and the same plan replays the
+same torn byte count and the same post-crash volatile losses every
+time, so a failing matrix cell is a reproducible test case, not a
+flake.
+
+The kill is simulated by raising :class:`~repro.errors.InjectedCrash`
+out of the storage seam after applying a seeded *prefix* of the dying
+write (a torn write).  The test harness catches it, discards the
+in-process store object — the "process" is dead — applies the volatile
+losses (:meth:`~repro.store.storage.MemStorage.crash`), and recovers a
+fresh store from the surviving bytes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import InjectedCrash
+
+#: Storage operation kinds that carry a data payload — only these can
+#: tear; control ops (fsync, replace, dir-sync, truncate) either happen
+#: or do not.
+DATA_OPS = frozenset({"append", "write"})
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """A reproducible process-death scenario.
+
+    Attributes
+    ----------
+    seed:
+        Master seed; every derived decision (torn prefix length,
+        post-crash volatile survival) hashes it with a slot label, so
+        one integer pins the whole scenario.
+    kill_after:
+        Ordinal of the storage operation to die at (0-based, counted
+        across the storage's lifetime).  ``None`` never kills — used to
+        dry-run a scenario and count its operations, which is how the
+        matrix enumerates every kill point.
+    torn:
+        When the dying operation is a data write, apply a seeded proper
+        prefix of its bytes before dying (``True``) or none of them
+        (``False``).  Both are legal crash outcomes; the matrix sweeps
+        both.
+    """
+
+    seed: int = 0
+    kill_after: int | None = None
+    torn: bool = True
+
+    def rng(self, label: str) -> random.Random:
+        """A deterministic RNG for one named decision slot."""
+        return random.Random(f"{self.seed}/{label}")
+
+    def injector(self) -> "CrashInjector":
+        """Fresh per-run state (op counter + trace) for this plan."""
+        return CrashInjector(self)
+
+
+class CrashInjector:
+    """Per-run execution state of a :class:`CrashPlan`.
+
+    A storage backend calls :meth:`intercept` before every operation.
+    The return value is ``None`` (survive: perform the operation in
+    full) or a byte budget for a data op's torn prefix; after applying
+    the prefix the backend must call :meth:`die`, which raises.  The
+    injector records a trace of ``("op" | "crash", ordinal, kind, name,
+    nbytes)`` tuples — dumped by the matrix on failure, same as the
+    fault injector's decision traces.
+    """
+
+    def __init__(self, plan: CrashPlan):
+        self.plan = plan
+        self.ops = 0
+        self.crashed = False
+        self.trace: list[tuple] = []
+
+    def intercept(self, kind: str, name: str, nbytes: int = 0) -> int | None:
+        """Register one storage operation; decide whether it survives.
+
+        Returns ``None`` to run the operation in full, or the number of
+        payload bytes to apply before dying (0 for control ops).
+        """
+        if self.crashed:
+            raise InjectedCrash(
+                f"storage used after injected crash ({kind} {name!r})"
+            )
+        ordinal = self.ops
+        self.ops += 1
+        if self.plan.kill_after is None or ordinal != self.plan.kill_after:
+            self.trace.append(("op", ordinal, kind, name, nbytes))
+            return None
+        limit = 0
+        if self.plan.torn and kind in DATA_OPS and nbytes > 0:
+            limit = self.plan.rng(f"torn/{ordinal}").randrange(nbytes + 1)
+        self.trace.append(("crash", ordinal, kind, name, limit))
+        return limit
+
+    def die(self, kind: str, name: str) -> None:
+        """Raise the injected kill (after any torn prefix was applied)."""
+        self.crashed = True
+        raise InjectedCrash(
+            f"injected crash at op {self.ops - 1} ({kind} {name!r}), "
+            f"seed {self.plan.seed}"
+        )

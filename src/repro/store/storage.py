@@ -1,0 +1,245 @@
+"""The store's single I/O seam.
+
+Every byte the durable store reads or writes flows through one of the
+two backends here — nothing else in :mod:`repro.store` may touch files
+(repro-lint RPL008 enforces it).  Centralising I/O buys three things:
+one place to wrap ``OSError`` into typed store errors, one place to
+hang the :class:`~repro.store.crash.CrashInjector`, and one
+:meth:`publish` helper that owns the only ``os.replace`` in the tree —
+the atomic-rename + directory-fsync pair every snapshot goes through.
+
+Durability model (shared by both backends):
+
+* :meth:`append` / :meth:`write` data is **volatile** until
+  :meth:`fsync` of that file;
+* name bindings created by :meth:`write` or moved by :meth:`publish`
+  are volatile until a directory sync — :meth:`publish` performs one,
+  which is why the store creates even its WAL through a publish;
+* :meth:`truncate` is treated as immediately durable (the
+  metadata-journalling assumption; it only ever *discards* a torn tail,
+  so a lost truncate merely re-runs on the next recovery).
+
+:class:`OsStorage` maps the model onto a real directory.
+:class:`MemStorage` models it exactly — including what a crash loses:
+an unsynced file keeps a seeded prefix of its volatile bytes, an
+unsynced binding vanishes — which is what lets the crash matrix prove
+recovery against *worse* filesystems than the one CI runs on.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ConfigError, StoreError
+from repro.store.crash import CrashInjector
+
+
+def _check_name(name: str) -> str:
+    if not name or os.sep in name or name.startswith(".") or ".." in name:
+        raise StoreError(f"bad store file name {name!r}")
+    return name
+
+
+class OsStorage:
+    """Store files in one real directory.
+
+    The directory must already exist and be writable — a missing or
+    read-only ``--store-dir`` is an operator mistake surfaced as
+    :class:`~repro.errors.ConfigError` before any state is touched.
+    """
+
+    def __init__(self, directory: str, *, injector: CrashInjector | None = None):
+        self._dir = os.fspath(directory)
+        self._injector = injector
+        if not os.path.isdir(self._dir):
+            raise ConfigError(
+                f"store directory {self._dir!r} does not exist "
+                "(create it first; the store never mkdirs)"
+            )
+        if not os.access(self._dir, os.W_OK | os.X_OK):
+            raise ConfigError(f"store directory {self._dir!r} is not writable")
+
+    def _path(self, name: str) -> str:
+        return os.path.join(self._dir, _check_name(name))
+
+    def _intercept(self, kind: str, name: str, nbytes: int = 0) -> int | None:
+        if self._injector is None:
+            return None
+        return self._injector.intercept(kind, name, nbytes)
+
+    def exists(self, name: str) -> bool:
+        return os.path.exists(self._path(name))
+
+    def read(self, name: str) -> bytes | None:
+        """The file's full contents, or ``None`` if it does not exist."""
+        try:
+            with open(self._path(name), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise StoreError(f"cannot read store file {name!r}: {exc}") from exc
+
+    def append(self, name: str, data: bytes) -> None:
+        """Append bytes (creating the file), volatile until fsync."""
+        limit = self._intercept("append", name, len(data))
+        try:
+            with open(self._path(name), "ab") as handle:
+                handle.write(data if limit is None else data[:limit])
+        except OSError as exc:
+            raise StoreError(f"cannot append to {name!r}: {exc}") from exc
+        if limit is not None:
+            self._injector.die("append", name)
+
+    def write(self, name: str, data: bytes) -> None:
+        """Create/overwrite a (temp) file, volatile until fsync."""
+        limit = self._intercept("write", name, len(data))
+        try:
+            with open(self._path(name), "wb") as handle:
+                handle.write(data if limit is None else data[:limit])
+        except OSError as exc:
+            raise StoreError(f"cannot write {name!r}: {exc}") from exc
+        if limit is not None:
+            self._injector.die("write", name)
+
+    def fsync(self, name: str) -> None:
+        """Make the file's current contents durable."""
+        if self._intercept("fsync", name) is not None:
+            self._injector.die("fsync", name)
+        try:
+            with open(self._path(name), "rb") as handle:
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise StoreError(f"cannot fsync {name!r}: {exc}") from exc
+
+    def truncate(self, name: str, length: int) -> None:
+        """Discard a torn tail; durable on return."""
+        if self._intercept("truncate", name) is not None:
+            self._injector.die("truncate", name)
+        try:
+            os.truncate(self._path(name), length)
+            with open(self._path(name), "rb") as handle:
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise StoreError(f"cannot truncate {name!r}: {exc}") from exc
+
+    def publish(self, tmp: str, final: str) -> None:
+        """Atomically move a finished temp file over its final name.
+
+        The one ``os.replace`` of the store (RPL008), followed by the
+        directory sync that makes the new binding durable.
+        """
+        if self._intercept("replace", final) is not None:
+            self._injector.die("replace", final)
+        try:
+            os.replace(self._path(tmp), self._path(final))
+        except OSError as exc:
+            raise StoreError(f"cannot publish {final!r}: {exc}") from exc
+        if self._intercept("fsync-dir", final) is not None:
+            self._injector.die("fsync-dir", final)
+        try:
+            fd = os.open(self._dir, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        except OSError as exc:
+            raise StoreError(f"cannot sync store directory: {exc}") from exc
+
+
+class _MemFile:
+    __slots__ = ("data", "durable")
+
+    def __init__(self, data: bytes = b"", durable: int = 0):
+        self.data = bytearray(data)
+        self.durable = durable
+
+
+class MemStorage:
+    """In-memory storage with explicit durable/volatile state.
+
+    Tracks, per file, how many leading bytes an fsync has made durable,
+    and, per *name binding*, whether a directory sync has persisted it.
+    :meth:`crash` applies the losses a power cut may inflict: unsynced
+    bindings vanish, and each surviving file keeps its durable prefix
+    plus a seeded prefix of its volatile tail (a torn write).  The crash
+    matrix runs the same plan against this and against
+    :class:`OsStorage` in a temp dir — same kill points, strictly harsher
+    survival rules here.
+    """
+
+    def __init__(self, *, injector: CrashInjector | None = None):
+        self._view: dict[str, _MemFile] = {}
+        self._durable: dict[str, _MemFile] = {}
+        self._injector = injector
+
+    def _intercept(self, kind: str, name: str, nbytes: int = 0) -> int | None:
+        if self._injector is None:
+            return None
+        return self._injector.intercept(kind, name, nbytes)
+
+    def exists(self, name: str) -> bool:
+        return _check_name(name) in self._view
+
+    def read(self, name: str) -> bytes | None:
+        file = self._view.get(_check_name(name))
+        return None if file is None else bytes(file.data)
+
+    def append(self, name: str, data: bytes) -> None:
+        limit = self._intercept("append", name, len(data))
+        file = self._view.setdefault(_check_name(name), _MemFile())
+        file.data += data if limit is None else data[:limit]
+        if limit is not None:
+            self._injector.die("append", name)
+
+    def write(self, name: str, data: bytes) -> None:
+        limit = self._intercept("write", name, len(data))
+        self._view[_check_name(name)] = _MemFile(
+            data if limit is None else data[:limit]
+        )
+        if limit is not None:
+            self._injector.die("write", name)
+
+    def fsync(self, name: str) -> None:
+        if self._intercept("fsync", name) is not None:
+            self._injector.die("fsync", name)
+        file = self._view.get(_check_name(name))
+        if file is None:
+            raise StoreError(f"cannot fsync missing file {name!r}")
+        file.durable = len(file.data)
+
+    def truncate(self, name: str, length: int) -> None:
+        if self._intercept("truncate", name) is not None:
+            self._injector.die("truncate", name)
+        file = self._view.get(_check_name(name))
+        if file is None:
+            raise StoreError(f"cannot truncate missing file {name!r}")
+        del file.data[length:]
+        file.durable = min(file.durable, len(file.data))
+
+    def publish(self, tmp: str, final: str) -> None:
+        if self._intercept("replace", final) is not None:
+            self._injector.die("replace", final)
+        file = self._view.pop(_check_name(tmp), None)
+        if file is None:
+            raise StoreError(f"cannot publish missing temp file {tmp!r}")
+        self._view[_check_name(final)] = file
+        if self._intercept("fsync-dir", final) is not None:
+            self._injector.die("fsync-dir", final)
+        self._durable = dict(self._view)
+
+    def crash(self, rng) -> None:
+        """Simulate the power cut: keep only what durability promised.
+
+        ``rng`` (typically ``plan.rng("crash")``) decides how much of
+        each file's volatile tail survives.  Detaches the injector —
+        recovery then runs against the surviving bytes uninjected.
+        """
+        survivors: dict[str, _MemFile] = {}
+        for name, file in self._durable.items():
+            volatile = len(file.data) - file.durable
+            keep = file.durable + (rng.randrange(volatile + 1) if volatile else 0)
+            survivors[name] = _MemFile(bytes(file.data[:keep]), keep)
+        self._view = survivors
+        self._durable = dict(survivors)
+        self._injector = None

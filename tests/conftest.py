@@ -63,3 +63,48 @@ def _serve_workers_shim(request, monkeypatch):
         functools.partial(WorkerPoolServer, workers=workers),
     )
     yield
+
+
+@pytest.fixture(autouse=True)
+def _serve_store_shim(request, monkeypatch, tmp_path_factory):
+    """Run the chaos matrix against durable-store-backed servers.
+
+    ``REPRO_STORE_DIR=1`` rebuilds every ``ReconciliationServer`` the
+    chaos matrix constructs around a :class:`~repro.store.DurableSketchStore`
+    bulk-loaded into a fresh temp directory — the acceptance contract of
+    the store layer: every fault plan must end in the same correct
+    repair or the same typed error whether the served payloads come from
+    live reconcilers or from recovered durable state.  Stacks with
+    ``REPRO_SERVE_WORKERS`` (this shim wraps whatever that one bound).
+    Unset (the default), a no-op.
+    """
+    if (
+        not os.environ.get("REPRO_STORE_DIR")
+        or request.module.__name__ != "test_chaos_matrix"
+    ):
+        yield
+        return
+    import tempfile
+
+    from repro.serve import ServerCore
+    from repro.store import DurableSketchStore
+
+    current = request.module.ReconciliationServer
+    base = tmp_path_factory.mktemp("chaos-store")
+
+    def store_backed(
+        config=None, points=None, *, core=None,
+        adaptive=None, rateless=None, **kwargs,
+    ):
+        if core is None:
+            directory = tempfile.mkdtemp(dir=str(base))
+            store = DurableSketchStore.open(config, directory)
+            store.bulk_load(points)
+            core = ServerCore(
+                config, points,
+                adaptive=adaptive, rateless=rateless, store=store,
+            )
+        return current(core=core, **kwargs)
+
+    monkeypatch.setattr(request.module, "ReconciliationServer", store_backed)
+    yield

@@ -17,15 +17,27 @@ import asyncio
 import dataclasses
 import json
 import os
+import signal
 
 import pytest
 
 from repro.core.config import ProtocolConfig
 from repro.core.rateless import RatelessConfig
-from repro.errors import ReproError
+from repro.errors import ReproError, StaleResumeTokenError
 from repro.net.channel import Direction
 from repro.net.faults import ChaosProxy, FaultPlan
-from repro.serve import ReconciliationServer, sync
+from repro.serve import (
+    RESET,
+    ReconciliationServer,
+    RetryPolicy,
+    ServerCore,
+    WorkerPoolServer,
+    classify,
+    resilient_sync,
+    sync,
+)
+from repro.session.rateless import RatelessResumeState
+from repro.store import DurableSketchStore
 from repro.workloads.synthetic import perturbed_pair
 
 DELTA = 2048
@@ -185,3 +197,141 @@ class TestChaosMatrix:
         )
         assert outcome[0] == "error", (variant, outcome)
         assert ("A->B", 0, "disconnect", 0, 0) in trace
+
+
+#: Cuts the third server frame of a rateless stream: the client has the
+#: welcome (resume token) and one fed increment when the wire dies, so
+#: its resume state is worth presenting to the next incarnation.
+RESTART_CUT = FaultPlan(
+    seed="mx-restart", disconnect=(Direction.ALICE_TO_BOB, 2)
+)
+
+
+class TestRestartFromStore:
+    """Restart plans: SIGKILL the serving process, restart from the
+    durable store, and prove the client-visible contract — a resume
+    token minted by a dead incarnation is refused *typed*
+    (:class:`~repro.errors.StaleResumeTokenError`, classified
+    :data:`~repro.serve.RESET`) and a fresh sync against the recovered
+    state repairs correctly."""
+
+    def _store_core(self, directory: str, points) -> tuple:
+        store = DurableSketchStore.open(CONFIG, directory)
+        if store.sketch.n_points == 0:
+            store.bulk_load(points)
+        core = ServerCore(CONFIG, points, store=store, rateless=RATELESS)
+        return store, core
+
+    def test_sigkill_then_stale_token_refused_then_repair(self, tmp_path):
+        workload = _workload()
+        state = RatelessResumeState()
+
+        async def scenario():
+            store_a, core_a = self._store_core(str(tmp_path), workload.alice)
+            async with WorkerPoolServer(
+                core=core_a, workers=1, max_restarts=0,
+                timeout=SERVER_TIMEOUT,
+            ) as pool:
+                async with ChaosProxy(*pool.address, RESTART_CUT) as proxy:
+                    with pytest.raises(ReproError):
+                        await sync(
+                            *proxy.address, CONFIG, workload.bob,
+                            variant="rateless", rateless=RATELESS,
+                            resume=state, timeout=CLIENT_TIMEOUT,
+                        )
+                # kill -9: incarnation A dies without any shutdown path.
+                os.kill(pool.worker_pids()[0], signal.SIGKILL)
+            assert state.in_progress, "cut left nothing worth resuming"
+
+            store_b, core_b = self._store_core(str(tmp_path), workload.alice)
+            assert store_b.recovery.source == "snapshot"
+            assert store_b.encode() == store_a.encode()
+            async with ReconciliationServer(
+                core=core_b, timeout=SERVER_TIMEOUT
+            ) as server:
+                with pytest.raises(StaleResumeTokenError) as refusal:
+                    await sync(
+                        *server.address, CONFIG, workload.bob,
+                        variant="rateless", rateless=RATELESS,
+                        resume=state, timeout=CLIENT_TIMEOUT,
+                    )
+                assert classify(refusal.value) == RESET
+                state.reset()
+                return await sync(
+                    *server.address, CONFIG, workload.bob,
+                    variant="rateless", rateless=RATELESS,
+                    resume=state, timeout=CLIENT_TIMEOUT,
+                )
+
+        result = asyncio.run(asyncio.wait_for(scenario(), SCENARIO_TIMEOUT))
+        assert sorted(result.repaired) == _clean_repaired("rateless")
+        assert result.recovered is not None
+        assert result.recovered["source"] == "snapshot"
+
+    def test_resilient_sync_rides_through_the_restart(self, tmp_path):
+        """The full ladder, hands-free: attempt 1 dies mid-stream (cut),
+        the server is SIGKILLed and a new incarnation recovers from the
+        store on the same address; attempt 2's stale token is refused →
+        RESET; attempt 3 repairs.  ``resilient_sync`` absorbs all of it."""
+        workload = _workload()
+        incarnation_b: list = []
+
+        async def scenario():
+            store_a, core_a = self._store_core(str(tmp_path), workload.alice)
+            pool = WorkerPoolServer(
+                core=core_a, workers=1, max_restarts=0,
+                timeout=SERVER_TIMEOUT,
+            )
+            await pool.start()
+            proxy = ChaosProxy(*pool.address, RESTART_CUT)
+            await proxy.start()
+            host, port = proxy.address
+            backoffs = []
+
+            async def swap_on_first_backoff(delay):
+                backoffs.append(delay)
+                if len(backoffs) > 1:
+                    return
+                os.kill(pool.worker_pids()[0], signal.SIGKILL)
+                await pool.close()
+                await proxy.close()
+                _, core_b = self._store_core(str(tmp_path), workload.alice)
+                last_error = None
+                for _ in range(40):  # the freed port may linger briefly
+                    server = ReconciliationServer(
+                        core=core_b, host=host, port=port,
+                        timeout=SERVER_TIMEOUT,
+                    )
+                    try:
+                        await server.start()
+                    except OSError as exc:
+                        last_error = exc
+                        await asyncio.sleep(0.05)
+                        continue
+                    incarnation_b.append(server)
+                    return
+                raise last_error
+
+            try:
+                result = await resilient_sync(
+                    host, port, CONFIG, workload.bob,
+                    variant="rateless", rateless=RATELESS,
+                    policy=RetryPolicy(attempts=4, base_delay=0.0, jitter=0.0),
+                    sleep=swap_on_first_backoff, timeout=CLIENT_TIMEOUT,
+                )
+            finally:
+                if incarnation_b:
+                    await incarnation_b[0].close()
+                else:
+                    await pool.close()
+                    await proxy.close()
+            return result, len(backoffs)
+
+        result, retries = asyncio.run(
+            asyncio.wait_for(scenario(), SCENARIO_TIMEOUT)
+        )
+        # Attempt 1 (cut) and attempt 2 (stale token) each backed off.
+        assert retries == 2
+        assert sorted(result.repaired) == _clean_repaired("rateless")
+        assert result.recovered is not None
+        assert result.recovered["source"] == "snapshot"

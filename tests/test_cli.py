@@ -85,3 +85,104 @@ class TestEstimateAndInfo:
         out = capsys.readouterr().out
         assert "one-round message" in out
         assert "lower bound" in out
+
+
+class TestServeStore:
+    """``serve --store-dir`` operator mistakes die typed: one ``error:``
+    line on stderr, exit code 2, never a traceback."""
+
+    def test_missing_store_dir_is_typed(self, workload_path, tmp_path, capsys):
+        code = main([
+            "serve", str(workload_path), "--k", "8",
+            "--store-dir", str(tmp_path / "nope"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+        assert "does not exist" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_corrupt_store_is_typed(self, workload_path, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        store_dir.mkdir()
+        (store_dir / "snapshot.bin").write_bytes(b"not a snapshot at all")
+        code = main([
+            "serve", str(workload_path), "--k", "8",
+            "--store-dir", str(store_dir),
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+        assert "CRC" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_workload_store_mismatch_is_typed(
+        self, workload_path, tmp_path, capsys
+    ):
+        import json as json_module
+
+        from repro.core.config import ProtocolConfig
+        from repro.store import DurableSketchStore
+
+        data = json_module.loads(workload_path.read_text())
+        config = ProtocolConfig(
+            delta=data["delta"], dimension=data["dimension"], k=8, seed=0,
+        )
+        store_dir = tmp_path / "store"
+        store_dir.mkdir()
+        store = DurableSketchStore.open(config, str(store_dir))
+        store.bulk_load([tuple(p) for p in data["alice"][:10]])
+        code = main([
+            "serve", str(workload_path), "--k", "8",
+            "--store-dir", str(store_dir),
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "refusing to serve inconsistent state" in captured.err
+
+    def test_serve_sync_end_to_end_with_recovery(
+        self, workload_path, tmp_path, capsys
+    ):
+        """First boot bulk-loads and snapshots; a second incarnation
+        recovers and the client's ``sync`` output says so."""
+        import re
+        import subprocess
+        import sys
+
+        store_dir = tmp_path / "store"
+        store_dir.mkdir()
+
+        def serve_one_sync():
+            process = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "serve",
+                    str(workload_path), "--k", "8", "--port", "0",
+                    "--store-dir", str(store_dir), "--max-syncs", "1",
+                ],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            )
+            try:
+                banner = process.stdout.readline()
+                match = re.search(r"on [\w.]+:(\d+) ", banner)
+                assert match, banner
+                store_line = process.stdout.readline()
+                code = main([
+                    "sync", str(workload_path),
+                    "--port", match.group(1), "--k", "8",
+                ])
+                assert code == 0
+                assert process.wait(timeout=20) == 0
+            finally:
+                process.kill()
+            return store_line
+
+        first = serve_one_sync()
+        first_sync_out = capsys.readouterr().out
+        assert "first boot; snapshot published" in first
+        assert "server   : recovered from fresh" in first_sync_out
+
+        second = serve_one_sync()
+        second_sync_out = capsys.readouterr().out
+        assert "recovered from snapshot (generation 1" in second
+        assert "server   : recovered from snapshot" in second_sync_out
+        assert "repair" in second_sync_out

@@ -38,7 +38,7 @@ class TestTreeIsClean:
         # Guard against a rule silently dropping out of the registry.
         assert sorted(RULES_BY_CODE) == [
             "RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006",
-            "RPL007",
+            "RPL007", "RPL008",
         ]
 
 

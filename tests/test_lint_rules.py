@@ -462,6 +462,104 @@ class TestExecutorSafety:
         assert report.findings == []
 
 
+# --------------------------------------------------------------- RPL008
+
+
+class TestStoreWriteDiscipline:
+    def test_fires_on_bare_open_in_store(self, tmp_path):
+        source = (
+            "def save(path, payload):\n"
+            "    with open(path, 'w') as handle:\n"
+            "        handle.write(payload)\n"
+        )
+        report = lint_files(
+            tmp_path, {"store/sidecar.py": source}, select={"RPL008"}
+        )
+        assert codes_of(report) == ["RPL008"]
+        assert "storage backend" in report.findings[0].message
+
+    def test_fires_on_os_file_op_outside_seam(self, tmp_path):
+        source = (
+            "import os\n"
+            "def rotate(a, b):\n"
+            "    os.replace(a, b)\n"
+            "def drop(path):\n"
+            "    os.unlink(path)\n"
+        )
+        report = lint_files(
+            tmp_path, {"store/wal.py": source}, select={"RPL008"}
+        )
+        assert codes_of(report) == ["RPL008"]
+        assert len(report.findings) == 2
+
+    def test_fires_on_shutil_in_store(self, tmp_path):
+        source = (
+            "import shutil\n"
+            "def clone(src, dst):\n"
+            "    shutil.copyfile(src, dst)\n"
+        )
+        report = lint_files(
+            tmp_path, {"store/snapshot.py": source}, select={"RPL008"}
+        )
+        assert codes_of(report) == ["RPL008"]
+
+    def test_fires_on_replace_outside_publish_in_seam(self, tmp_path):
+        source = (
+            "import os\n"
+            "class Backend:\n"
+            "    def publish(self, tmp, final):\n"
+            "        os.replace(tmp, final)\n"
+            "    def sneaky(self, tmp, final):\n"
+            "        os.rename(tmp, final)\n"
+        )
+        report = lint_files(
+            tmp_path, {"store/storage.py": source}, select={"RPL008"}
+        )
+        assert codes_of(report) == ["RPL008"]
+        assert len(report.findings) == 1
+        assert "publish" in report.findings[0].message
+        assert report.findings[0].line == 6
+
+    def test_silent_on_seam_module_discipline(self, tmp_path):
+        source = (
+            "import os\n"
+            "class Backend:\n"
+            "    def read(self, path):\n"
+            "        with open(path, 'rb') as handle:\n"
+            "            return handle.read()\n"
+            "    def fsync(self, path):\n"
+            "        with open(path, 'rb') as handle:\n"
+            "            os.fsync(handle.fileno())\n"
+            "    def publish(self, tmp, final):\n"
+            "        os.replace(tmp, final)\n"
+        )
+        report = lint_files(
+            tmp_path, {"store/storage.py": source}, select={"RPL008"}
+        )
+        assert report.findings == []
+
+    def test_silent_outside_store_scope(self, tmp_path):
+        source = (
+            "import os\n"
+            "def rotate(a, b):\n"
+            "    os.replace(a, b)\n"
+        )
+        report = lint_files(
+            tmp_path, {"workloads/io.py": source}, select={"RPL008"}
+        )
+        assert report.findings == []
+
+    def test_real_store_package_is_clean(self):
+        from pathlib import Path
+
+        import repro
+
+        report = run_lint(
+            Path(repro.__file__).parent, select={"RPL008"}
+        )
+        assert report.findings == []
+
+
 # ------------------------------------------------------------- waivers
 
 

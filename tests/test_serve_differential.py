@@ -269,3 +269,62 @@ class TestMultiWorkerDifferential:
             assert sorted(off_result.repaired) == sorted(
                 inline_result.repaired
             )
+
+
+class TestStoreDifferential:
+    """Durable store on vs off: the store may not shape a single payload
+    byte.  A server answering from a bulk-loaded store, and a server
+    answering from a *recovered* store (fresh process over the same
+    directory), must both ship payload sequences byte-identical to the
+    storeless server, for every variant."""
+
+    @pytest.mark.parametrize("variant,kwargs,runner", VARIANTS,
+                             ids=[v for v, _, _ in VARIANTS])
+    def test_store_backed_payloads_byte_identical(
+        self, variant, kwargs, runner, tmp_path
+    ):
+        from repro.serve import ServerCore
+        from repro.store import DurableSketchStore
+
+        workload, config = _setup(kwargs, seed=19)
+
+        def run_against(make_core):
+            async def scenario():
+                channel = SimulatedChannel()
+                core = make_core()
+                if core is None:
+                    server = ReconciliationServer(config, workload.alice)
+                else:
+                    server = ReconciliationServer(core=core)
+                async with server:
+                    result = await sync(
+                        *server.address, config, workload.bob,
+                        variant=variant, channel=channel, timeout=10,
+                    )
+                return result, channel
+
+            return asyncio.run(scenario())
+
+        plain_result, plain_channel = run_against(lambda: None)
+
+        store = DurableSketchStore.open(config, str(tmp_path))
+        store.bulk_load(workload.alice)
+        live_result, live_channel = run_against(
+            lambda: ServerCore(config, workload.alice, store=store)
+        )
+        assert _message_triples(live_channel) == _message_triples(
+            plain_channel
+        )
+        assert sorted(live_result.repaired) == sorted(plain_result.repaired)
+
+        recovered = DurableSketchStore.open(config, str(tmp_path))
+        rec_result, rec_channel = run_against(
+            lambda: ServerCore(config, workload.alice, store=recovered)
+        )
+        assert _message_triples(rec_channel) == _message_triples(
+            plain_channel
+        )
+        assert sorted(rec_result.repaired) == sorted(plain_result.repaired)
+        # The recovery diagnostic rides the welcome, not the payloads.
+        assert getattr(plain_result, "recovered", None) is None
+        assert rec_result.recovered["source"] == "snapshot"
